@@ -1,0 +1,55 @@
+"""Benchmark: design-choice ablations called out in DESIGN.md.
+
+Not a paper figure: these quantify the contribution of individual mechanisms —
+EWMA-driven look-ahead vs a fixed distance, the scheduling policy, and the
+observation-queue size — on one stride-hash-indirect workload.
+"""
+
+import pytest
+
+from repro.programmable.scheduler import RoundRobinPolicy
+from repro.sim import PrefetchMode, simulate
+
+
+@pytest.fixture(scope="module")
+def ablation_setup(bench_workloads, bench_config):
+    workload = bench_workloads.get("randacc") or next(iter(bench_workloads.values()))
+    baseline = simulate(workload, PrefetchMode.NONE, bench_config)
+    return workload, baseline
+
+
+def test_scheduling_policy_does_not_change_performance(benchmark, ablation_setup, bench_config):
+    workload, baseline = ablation_setup
+    lowest = simulate(workload, PrefetchMode.MANUAL, bench_config)
+    round_robin = benchmark(
+        lambda: simulate(workload, PrefetchMode.MANUAL, bench_config, policy=RoundRobinPolicy())
+    )
+    print(
+        f"\nlowest-free-id {baseline.cycles / lowest.cycles:.2f}x vs "
+        f"round-robin {baseline.cycles / round_robin.cycles:.2f}x"
+    )
+    # The paper: other policies spread work more evenly but do not change
+    # overall performance.
+    assert round_robin.cycles == pytest.approx(lowest.cycles, rel=0.1)
+
+
+def test_tiny_observation_queue_degrades_gracefully(benchmark, ablation_setup, bench_config):
+    workload, baseline = ablation_setup
+    full = simulate(workload, PrefetchMode.MANUAL, bench_config)
+    starved_config = bench_config.with_prefetcher(observation_queue_entries=2, prefetch_queue_entries=4)
+    starved = benchmark(lambda: simulate(workload, PrefetchMode.MANUAL, starved_config))
+    print(
+        f"\n40-entry queues {baseline.cycles / full.cycles:.2f}x vs "
+        f"2-entry queues {baseline.cycles / starved.cycles:.2f}x "
+        f"(dropped {starved.prefetcher['observations_dropped']} observations)"
+    )
+    # Dropping observations must never break the run; it may cost performance.
+    assert starved.cycles >= full.cycles * 0.95
+
+
+def test_single_ppu_still_helps(benchmark, ablation_setup, bench_config):
+    workload, baseline = ablation_setup
+    single_config = bench_config.with_prefetcher(num_ppus=1)
+    single = benchmark(lambda: simulate(workload, PrefetchMode.MANUAL, single_config))
+    print(f"\n1 PPU {baseline.cycles / single.cycles:.2f}x over no prefetching")
+    assert single.cycles < baseline.cycles

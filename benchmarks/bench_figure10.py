@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 10 (PPU activity factors under manual prefetching)."""
+
+from repro.eval.figure10 import format_figure10, run_figure10
+from repro.sim import PrefetchMode, simulate
+
+from .conftest import BENCH_WORKLOADS
+
+
+def test_figure10_ppu_activity(benchmark, bench_comparison, bench_workloads, bench_config):
+    workload = bench_workloads.get("conjgrad") or next(iter(bench_workloads.values()))
+    benchmark(lambda: simulate(workload, PrefetchMode.MANUAL, bench_config))
+
+    data = run_figure10(workloads=BENCH_WORKLOADS, comparison=bench_comparison)
+    print()
+    print(format_figure10(data))
+
+    for name, factors in data.activity.items():
+        assert len(factors) == bench_config.prefetcher.num_ppus
+        # Lowest-free-ID scheduling concentrates work on the low-numbered PPUs.
+        assert factors[0] >= factors[-1], name
+        assert all(0.0 <= factor <= 1.0 for factor in factors)

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 11 (event triggering vs blocking on loads)."""
+
+from repro.eval.figure11 import format_figure11, run_figure11
+from repro.sim import PrefetchMode, simulate
+
+from .conftest import BENCH_WORKLOADS
+
+
+def test_figure11_blocking_ablation(benchmark, bench_comparison, bench_workloads, bench_config):
+    workload = bench_workloads.get("hj8") or next(iter(bench_workloads.values()))
+    benchmark(lambda: simulate(workload, PrefetchMode.MANUAL_BLOCKED, bench_config))
+
+    data = run_figure11(workloads=BENCH_WORKLOADS, comparison=bench_comparison)
+    print()
+    print(format_figure11(data))
+
+    # Event triggering must dominate blocking overall, and especially on the
+    # multi-level patterns (hash-join list walks, BFS).
+    better = sum(1 for name in data.events if data.events[name] >= data.blocked.get(name, 0.0))
+    assert better >= max(1, len(data.events) - 1)
+    for name in ("hj8", "g500-csr"):
+        if name in data.events and name in data.blocked:
+            assert data.events[name] > data.blocked[name]

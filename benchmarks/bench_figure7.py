@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 7 (speedup of every prefetching scheme).
+
+The timed body is one representative simulation (the manual programmable
+prefetcher on RandomAccess); the full cross-product of workloads × schemes is
+computed once per session by the ``bench_comparison`` fixture and rendered
+here so the benchmark output shows the reproduced figure.
+"""
+
+from repro.eval.figure7 import format_figure7, run_figure7
+from repro.sim import PrefetchMode, simulate
+
+from .conftest import BENCH_WORKLOADS
+
+
+def test_figure7_speedups(benchmark, bench_comparison, bench_workloads, bench_config):
+    workload = bench_workloads.get("randacc") or next(iter(bench_workloads.values()))
+
+    def representative_run():
+        return simulate(workload, PrefetchMode.MANUAL, bench_config)
+
+    benchmark(representative_run)
+
+    data = run_figure7(workloads=BENCH_WORKLOADS, comparison=bench_comparison)
+    print()
+    print(format_figure7(data))
+
+    manual = data.speedups.get("randacc", {}).get(PrefetchMode.MANUAL.value)
+    if manual is not None:
+        assert manual > 1.0
+    assert data.geomean(PrefetchMode.MANUAL) >= data.geomean(PrefetchMode.GHB_REGULAR)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 8 (prefetch utilisation and L1 hit rates)."""
+
+from repro.eval.figure8 import format_figure8, run_figure8
+from repro.sim import PrefetchMode, simulate
+
+from .conftest import BENCH_WORKLOADS
+
+
+def test_figure8_utilisation_and_hit_rates(benchmark, bench_comparison, bench_workloads, bench_config):
+    workload = bench_workloads.get("intsort") or next(iter(bench_workloads.values()))
+    benchmark(lambda: simulate(workload, PrefetchMode.MANUAL, bench_config))
+
+    data = run_figure8(workloads=BENCH_WORKLOADS, comparison=bench_comparison)
+    print()
+    print(format_figure8(data))
+
+    for name, (before, after) in data.hit_rates.items():
+        assert after >= before - 0.02, f"{name}: programmable prefetching should not hurt the L1"
+    for name, utilisation in data.utilisation.items():
+        assert 0.0 <= utilisation <= 1.0

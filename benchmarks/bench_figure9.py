@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 9 (PPU clock-frequency and count scaling).
+
+The full sweep is expensive (dozens of simulations); the swept frequencies and
+PPU counts are trimmed at the ``small`` benchmark scale and complete at
+``REPRO_BENCH_SCALE=default``.
+"""
+
+from repro.eval.figure9 import format_figure9, run_figure9
+from repro.sim.sweeps import ppu_frequency_sweep
+
+from .conftest import BENCH_SCALE, BENCH_WORKLOADS
+
+
+def test_figure9_ppu_scaling(benchmark, bench_workloads, bench_config):
+    sweep_names = [n for n in ("randacc", "g500-csr") if n in BENCH_WORKLOADS] or BENCH_WORKLOADS[:1]
+    frequencies = [0.25, 0.5, 1.0, 2.0] if BENCH_SCALE == "default" else [0.5, 1.0]
+    counts = [3, 6, 12] if BENCH_SCALE == "default" else [3, 12]
+
+    workload = bench_workloads[sweep_names[0]]
+    benchmark(lambda: ppu_frequency_sweep(workload, frequencies=[1.0], config=bench_config))
+
+    data = run_figure9(
+        workloads=sweep_names,
+        config=bench_config,
+        scale=BENCH_SCALE,
+        frequencies=frequencies,
+        counts=counts,
+        count_sweep_workload=sweep_names[-1],
+        prebuilt=bench_workloads,
+    )
+    print()
+    print(format_figure9(data))
+
+    for name, sweep in data.frequency_sweeps.items():
+        slow, fast = min(sweep), max(sweep)
+        assert sweep[fast] >= 0.9 * sweep[slow], (
+            f"{name}: faster PPUs should never be significantly worse"
+        )

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the Section 7.2 extra-memory-accesses analysis."""
+
+from repro.eval.memtraffic import format_memtraffic, run_memtraffic
+from repro.sim import PrefetchMode, simulate
+
+from .conftest import BENCH_WORKLOADS
+
+
+def test_extra_memory_accesses(benchmark, bench_comparison, bench_workloads, bench_config):
+    workload = bench_workloads.get("hj2") or next(iter(bench_workloads.values()))
+    benchmark(lambda: simulate(workload, PrefetchMode.NONE, bench_config))
+
+    data = run_memtraffic(workloads=BENCH_WORKLOADS, comparison=bench_comparison)
+    print()
+    print(format_memtraffic(data))
+
+    for name, extra in data.extra.items():
+        if name.startswith("g500"):
+            # The graph traversals are allowed meaningful over-fetch (paper: 16-40 %).
+            assert extra < 0.8, name
+        else:
+            assert extra < 0.25, f"{name}: programmable prefetching should add little traffic"

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Tables 1 and 2 (system configuration and benchmarks)."""
+
+from repro.eval.table1 import format_table1, run_table1
+from repro.eval.table2 import format_table2, run_table2
+
+from .conftest import BENCH_SCALE, BENCH_WORKLOADS
+
+
+def test_table1_configuration(benchmark, bench_config):
+    table = benchmark(lambda: run_table1(bench_config))
+    print()
+    print(format_table1(table))
+    assert "PPUs" in table["Prefetcher"]
+
+
+def test_table2_benchmarks(benchmark):
+    rows = benchmark(lambda: run_table2(workloads=BENCH_WORKLOADS, scale=BENCH_SCALE))
+    print()
+    print(format_table2(rows))
+    assert len(rows) == len(BENCH_WORKLOADS)

@@ -1,0 +1,65 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*``/``test_*`` module regenerates one table or figure of the
+paper.  The workload scale is controlled with ``REPRO_BENCH_SCALE``
+(``tiny`` / ``small`` / ``default``); ``small`` is the default so that
+``pytest benchmarks/ --benchmark-only`` finishes in a few minutes, while
+``default`` reproduces the numbers recorded in EXPERIMENTS.md.
+
+The heavyweight simulations are shared across benchmarks through a
+session-scoped comparison fixture so each figure's benchmark times only its
+own analysis plus a representative simulation.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import SystemConfig  # noqa: E402
+from repro.sim import PrefetchMode, run_comparison  # noqa: E402
+from repro.sim.modes import FIGURE7_MODES  # noqa: E402
+from repro.workloads import WORKLOAD_ORDER, build_workload  # noqa: E402
+
+#: Workload scale used by the whole benchmark session.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+#: Workload subset (comma separated) — defaults to all eight benchmarks.
+BENCH_WORKLOADS = [
+    name
+    for name in os.environ.get("REPRO_BENCH_WORKLOADS", ",".join(WORKLOAD_ORDER)).split(",")
+    if name
+]
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> SystemConfig:
+    return SystemConfig.scaled()
+
+
+@pytest.fixture(scope="session")
+def bench_workloads():
+    """Pre-built workloads shared by every benchmark."""
+
+    return {name: build_workload(name, scale=BENCH_SCALE) for name in BENCH_WORKLOADS}
+
+
+@pytest.fixture(scope="session")
+def bench_comparison(bench_config, bench_workloads):
+    """The full Figure 7 comparison (plus the blocking ablation), run once."""
+
+    modes = list(FIGURE7_MODES) + [PrefetchMode.MANUAL_BLOCKED]
+    return run_comparison(
+        list(bench_workloads),
+        modes,
+        config=bench_config,
+        scale=BENCH_SCALE,
+        workloads=bench_workloads,
+    )

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's evaluation and (optionally) write EXPERIMENTS.md.
+
+Runs every experiment of Section 7 — Figures 7, 8, 10, 11 and the extra
+memory-traffic analysis, plus Tables 1 and 2 — and prints the resulting
+tables.  The Figure 9 sweeps are included with ``--figure9`` (they simulate
+dozens of extra configurations, so they are optional for quick runs).
+
+Usage::
+
+    python examples/reproduce_paper.py --scale small
+    python examples/reproduce_paper.py --scale default --figure9 --write-experiments
+"""
+
+import argparse
+
+from repro.eval.report import run_report, render_markdown, write_markdown
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "default"],
+                        help="workload scale (default: small)")
+    parser.add_argument("--figure9", action="store_true",
+                        help="also run the PPU frequency/count sweeps (slow)")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="subset of workloads to run (default: all eight)")
+    parser.add_argument("--write-experiments", metavar="PATH", nargs="?",
+                        const="EXPERIMENTS.md", default=None,
+                        help="write the Markdown report to PATH (default EXPERIMENTS.md)")
+    args = parser.parse_args()
+
+    report = run_report(
+        workloads=args.workloads,
+        scale=args.scale,
+        include_figure9=args.figure9,
+    )
+    print(report.format_console())
+    if args.write_experiments:
+        write_markdown(report, args.write_experiments)
+        print(f"\nWrote {args.write_experiments}")
+    else:
+        # Show the paper-vs-measured summary either way.
+        print("\n" + render_markdown(report))
+
+
+if __name__ == "__main__":
+    main()

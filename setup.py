@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this shim exists so that
+``pip install -e .`` also works on environments whose pip/setuptools cannot
+perform PEP 660 editable installs (e.g. offline machines without the ``wheel``
+package, where pip falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

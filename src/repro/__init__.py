@@ -1,0 +1,40 @@
+"""repro — reproduction of "An Event-Triggered Programmable Prefetcher for
+Irregular Workloads" (Ainsworth & Jones, ASPLOS 2018).
+
+The package provides, in Python and from scratch:
+
+* a simulated memory substrate (virtual address space, L1/L2 caches with
+  MSHRs, TLB, DRAM) — :mod:`repro.memory`;
+* an out-of-order main-core timing model driven by dependence-annotated
+  dynamic traces — :mod:`repro.cpu`;
+* the baseline prefetchers the paper compares against (stride reference
+  prediction table, Markov GHB) — :mod:`repro.prefetch`;
+* the event-triggered programmable prefetcher itself (address filter,
+  observation queue, scheduler, PPUs with a kernel ISA, EWMA look-ahead,
+  prefetch request queue, memory-request tags) — :mod:`repro.programmable`;
+* the compiler analogue of the paper's LLVM passes (software-prefetch
+  conversion and pragma-driven event generation over a small loop IR) —
+  :mod:`repro.compiler`;
+* the eight evaluation workloads — :mod:`repro.workloads`;
+* the simulation driver and prefetch modes — :mod:`repro.sim`; and
+* the experiment harness that regenerates every figure and table of the
+  paper's evaluation — :mod:`repro.eval`.
+
+Quickstart::
+
+    from repro.config import SystemConfig
+    from repro.sim import PrefetchMode, simulate
+    from repro.workloads import build_workload
+
+    workload = build_workload("randacc", scale="tiny")
+    baseline = simulate(workload, PrefetchMode.NONE, SystemConfig.scaled())
+    manual = simulate(workload, PrefetchMode.MANUAL, SystemConfig.scaled())
+    print(baseline.cycles / manual.cycles)   # speedup from programmable prefetching
+"""
+
+from .config import SystemConfig
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["SystemConfig", "ReproError", "__version__"]

@@ -1,0 +1,210 @@
+"""Dependence analysis: the depth-first search of Algorithm 1.
+
+Starting from a prefetch's address expression, the pass walks backwards
+through the data-dependence graph until it reaches loop-invariant values, a
+non-loop-invariant load, or the loop's induction variable.  Each
+non-loop-invariant load splits the expression into a new event; more than one
+distinct non-invariant load feeding a single address makes the conversion
+fail, as do values with no induction-variable provenance and loads behind
+data-dependent control flow.  The failures are reported with reasons so the
+workloads (and tests) can check that the pass fails exactly where the paper
+says it must.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import CompilationError
+from .ir import ArrayDecl, BinOp, Constant, IndexVar, Load, Loop, Param, Value
+from .split import ChainStep, Incoming, PrefetchChain
+
+#: Upper bound on chain length; real chains in the paper are 2-4 events.
+MAX_CHAIN_LENGTH = 8
+
+
+# ----------------------------------------------------------------- predicates
+
+
+def is_loop_invariant(value: Value, loop: Loop) -> bool:
+    """True when ``value`` does not change across iterations of ``loop``."""
+
+    if isinstance(value, (Constant, Param)):
+        return True
+    if isinstance(value, (IndexVar, Incoming)):
+        return False
+    if isinstance(value, Load):
+        # A load could be invariant if its address is, but the paper hoists
+        # such loads into global registers before this point; treating all
+        # loads as variant is conservative and matches the workloads' IR.
+        return False
+    if isinstance(value, BinOp):
+        return is_loop_invariant(value.lhs, loop) and is_loop_invariant(value.rhs, loop)
+    raise CompilationError(f"unknown IR value {value!r}")
+
+
+def contains_indvar(value: Value) -> bool:
+    if isinstance(value, IndexVar):
+        return True
+    return any(contains_indvar(operand) for operand in value.operands())
+
+
+def contains_incoming(value: Value) -> bool:
+    if isinstance(value, Incoming):
+        return True
+    return any(contains_incoming(operand) for operand in value.operands())
+
+
+def find_variant_loads(value: Value, loop: Loop) -> list[Load]:
+    """Distinct non-loop-invariant loads reachable from ``value``.
+
+    Loads nested inside another load's index expression are *not* returned —
+    the search stops at the first load on each path, because that load is
+    where the expression splits into a new event.
+    """
+
+    found: list[Load] = []
+    seen: set[int] = set()
+
+    def visit(node: Value) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        if isinstance(node, Load):
+            if not is_loop_invariant(node, loop) and all(node is not other for other in found):
+                found.append(node)
+            return  # do not descend into the load's own address
+        for operand in node.operands():
+            visit(operand)
+
+    visit(value)
+    return found
+
+
+# ---------------------------------------------------------------- substitution
+
+
+def substitute_load(value: Value, target: Load, replacement: Value) -> Value:
+    """Return ``value`` with ``target`` replaced by ``replacement``."""
+
+    if value is target:
+        return replacement
+    if isinstance(value, BinOp):
+        return BinOp(
+            value.op,
+            substitute_load(value.lhs, target, replacement),
+            substitute_load(value.rhs, target, replacement),
+        )
+    return value
+
+
+# ------------------------------------------------------------- root distances
+
+
+def extract_root_distance(value: Value, indvar: IndexVar) -> int:
+    """Extract the constant look-ahead from a root index of the form ``i + d``.
+
+    Accepts the bare induction variable (distance 0) and ``i + constant`` /
+    ``constant + i``.  Anything else — a scaled or hashed induction variable —
+    is rejected, mirroring the paper's requirement that the loop's strided
+    access be recoverable from an observed address.
+    """
+
+    if isinstance(value, IndexVar):
+        return 0
+    if isinstance(value, BinOp) and value.op == "add":
+        lhs, rhs = value.lhs, value.rhs
+        if isinstance(lhs, IndexVar) and isinstance(rhs, Constant):
+            return rhs.value
+        if isinstance(rhs, IndexVar) and isinstance(lhs, Constant):
+            return lhs.value
+    raise CompilationError(
+        "root access is not a simple strided walk of the induction variable "
+        f"(found {value!r}); the induction variable cannot be recovered from "
+        "an observed address"
+    )
+
+
+def _invariant_apart_from_incoming(value: Value, loop: Loop) -> bool:
+    """True when ``value`` only combines the incoming data with invariants."""
+
+    if isinstance(value, Incoming):
+        return True
+    if isinstance(value, (Constant, Param)):
+        return True
+    if isinstance(value, BinOp):
+        return _invariant_apart_from_incoming(value.lhs, loop) and _invariant_apart_from_incoming(
+            value.rhs, loop
+        )
+    return False
+
+
+# ------------------------------------------------------------------ the DFS
+
+
+def decompose_prefetch(
+    loop: Loop,
+    target_array: ArrayDecl,
+    index_expr: Value,
+    source_name: str,
+) -> PrefetchChain:
+    """Split one prefetch address computation into a chain of events.
+
+    Raises :class:`~repro.errors.CompilationError` with a human-readable
+    reason when the paper's pass would fail on this prefetch.
+    """
+
+    steps_reversed: list[ChainStep] = []
+    current_array = target_array
+    current_expr = index_expr
+
+    for _ in range(MAX_CHAIN_LENGTH + 1):
+        variant_loads = find_variant_loads(current_expr, loop)
+
+        control_dependent = [load for load in variant_loads if load.control_dependent]
+        if control_dependent:
+            raise CompilationError(
+                f"{source_name}: address depends on a load behind data-dependent "
+                f"control flow ({control_dependent[0]!r}); software prefetches "
+                "cannot express loops"
+            )
+
+        if len(variant_loads) > 1:
+            raise CompilationError(
+                f"{source_name}: more than one non-loop-invariant load feeds a single "
+                "address, so the event cannot be triggered by a single data value"
+            )
+
+        if len(variant_loads) == 1:
+            load = variant_loads[0]
+            expr = substitute_load(current_expr, load, Incoming())
+            if contains_indvar(expr):
+                raise CompilationError(
+                    f"{source_name}: address mixes the induction variable with loaded "
+                    "data; the event cannot be reconstructed from one observation"
+                )
+            if not _invariant_apart_from_incoming(expr, loop):
+                raise CompilationError(
+                    f"{source_name}: address contains values with unknown provenance"
+                )
+            steps_reversed.append(ChainStep(array=current_array, index_expr=expr, is_root=False))
+            current_array = load.array
+            current_expr = load.index
+            continue
+
+        # No variant loads left: this must be the strided root access.
+        if not contains_indvar(current_expr):
+            raise CompilationError(
+                f"{source_name}: no induction variable found on the dependence path; "
+                "there is nothing to derive look-ahead from"
+            )
+        distance = extract_root_distance(current_expr, loop.indvar)
+        steps_reversed.append(
+            ChainStep(array=current_array, index_expr=current_expr, is_root=True)
+        )
+        steps_reversed.reverse()
+        return PrefetchChain(
+            steps=steps_reversed, root_distance=distance, source=source_name
+        )
+
+    raise CompilationError(f"{source_name}: dependence chain longer than {MAX_CHAIN_LENGTH} events")

@@ -1,0 +1,52 @@
+"""Array bounds detection (Section 6.2).
+
+The prefetcher's filter table needs the virtual-address bounds of every array
+that triggers events.  For typed arrays the length is declared and the bounds
+are trivial; for pointer-style arrays the pass falls back to the loop's trip
+count (the loop-invariant termination condition), which is valid for arrays
+walked directly by the induction variable.  When neither is available the
+conversion fails for that array.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..errors import CompilationError
+from .ir import ArrayDecl, Loop
+
+
+def infer_bounds(
+    array: ArrayDecl,
+    loop: Loop,
+    bindings: Mapping[str, int],
+    *,
+    allow_trip_count: bool = True,
+) -> tuple[int, int]:
+    """Return ``(base, end)`` virtual addresses for ``array``.
+
+    ``bindings`` maps parameter names to their runtime values (array bases,
+    lengths, the loop trip count) — the information the configuration
+    instructions carry at run time.
+    """
+
+    if array.base_param not in bindings:
+        raise CompilationError(
+            f"array {array.name!r}: base parameter {array.base_param!r} is not bound"
+        )
+    base = int(bindings[array.base_param])
+
+    length: Optional[int] = None
+    if array.length is not None:
+        length = int(array.length)
+    elif array.length_param is not None and array.length_param in bindings:
+        length = int(bindings[array.length_param])
+    elif allow_trip_count and loop.trip_count_param is not None and loop.trip_count_param in bindings:
+        length = int(bindings[loop.trip_count_param])
+
+    if length is None or length <= 0:
+        raise CompilationError(
+            f"array {array.name!r}: bounds cannot be determined (no declared length, "
+            "no length parameter, and no loop-invariant trip count)"
+        )
+    return base, base + length * array.element_bytes

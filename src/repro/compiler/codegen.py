@@ -1,0 +1,302 @@
+"""Code generation: prefetch chains → PPU kernels + prefetcher configuration.
+
+For every :class:`~repro.compiler.split.PrefetchChain` the generator emits
+
+* an *on-load* kernel for the chain's root array: it recovers the current
+  loop index from the observed virtual address (``(vaddr - base) / size``),
+  adds the look-ahead distance (taken from the EWMA calculators, seeded with
+  the software prefetch's constant distance when one was present), and
+  prefetches the root element that far ahead, tagged so the fill triggers the
+  next event;
+* one *on-fill* kernel per intermediate step: it reads the returned word
+  (``get_data()``), applies the step's index arithmetic, and prefetches into
+  the next array, again tagged if there is a further step; and
+* the configuration instructions the main program must run before the loop:
+  the root array's address bounds in the filter table (with iteration timing
+  and chain-start flags for the EWMAs), global registers for every
+  loop-invariant parameter the kernels use, the memory-request tags for the
+  intermediate fills, and a chain-end entry for the final array when its
+  bounds are known.
+
+This is Section 6.3 of the paper, retargeted from LLVM IR to the kernel ISA in
+:mod:`repro.programmable.kernel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
+
+from ..errors import CompilationError
+from ..programmable.config_api import PrefetcherConfiguration
+from ..programmable.kernel import KernelBuilder, Reg
+from .bounds import infer_bounds
+from .ir import ArrayDecl, BinOp, Constant, IndexVar, Load, Loop, Param, Value
+from .split import Incoming, PrefetchChain
+
+
+@dataclass
+class CompiledPrefetchProgram:
+    """The output of a compiler pass for one loop."""
+
+    loop_name: str
+    configuration: PrefetcherConfiguration
+    chains: list[PrefetchChain] = field(default_factory=list)
+    converted_sources: list[str] = field(default_factory=list)
+    failures: list[tuple[str, str]] = field(default_factory=list)
+    #: Per-iteration main-core instructions removed by dead-code elimination
+    #: of the converted software prefetches (see :mod:`repro.compiler.dce`).
+    removed_main_instructions: int = 0
+
+    @property
+    def converted(self) -> bool:
+        return bool(self.chains)
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "loop": self.loop_name,
+            "chains": [chain.arrays for chain in self.chains],
+            "converted_sources": list(self.converted_sources),
+            "failures": list(self.failures),
+            "kernels": sorted(self.configuration.kernels),
+            "removed_main_instructions": self.removed_main_instructions,
+        }
+
+
+# --------------------------------------------------------------- expressions
+
+
+def _element_shift(array: ArrayDecl) -> int:
+    size = array.element_bytes
+    if size & (size - 1):
+        raise CompilationError(f"array {array.name!r}: element size {size} is not a power of two")
+    return size.bit_length() - 1
+
+
+def _emit_expr(
+    builder: KernelBuilder,
+    value: Value,
+    configuration: PrefetcherConfiguration,
+    *,
+    incoming: Optional[Reg],
+    index_from_vaddr: Optional[Reg],
+) -> Union[Reg, int]:
+    """Lower an index expression to kernel code; returns a register or immediate."""
+
+    if isinstance(value, Constant):
+        return value.value
+    if isinstance(value, Param):
+        return builder.get_global(configuration.global_index(value.name))
+    if isinstance(value, Incoming):
+        if incoming is None:
+            raise CompilationError("expression uses incoming data but none is available")
+        return incoming
+    if isinstance(value, IndexVar):
+        if index_from_vaddr is None:
+            raise CompilationError("expression uses the induction variable outside the root event")
+        return index_from_vaddr
+    if isinstance(value, BinOp):
+        lhs = _emit_expr(
+            builder, value.lhs, configuration, incoming=incoming, index_from_vaddr=index_from_vaddr
+        )
+        rhs = _emit_expr(
+            builder, value.rhs, configuration, incoming=incoming, index_from_vaddr=index_from_vaddr
+        )
+        emit = {
+            "add": builder.add,
+            "sub": builder.sub,
+            "mul": builder.mul,
+            "and": builder.and_,
+            "or": builder.or_,
+            "xor": builder.xor,
+            "shl": builder.shl,
+            "shr": builder.shr,
+        }[value.op]
+        return emit(lhs, rhs)
+    if isinstance(value, Load):
+        raise CompilationError(
+            "a load survived into code generation; the dependence split is incomplete"
+        )
+    raise CompilationError(f"cannot lower IR value {value!r}")
+
+
+# -------------------------------------------------------------------- chains
+
+
+def generate_configuration(
+    loop: Loop,
+    chains: list[PrefetchChain],
+    bindings: Mapping[str, int],
+    *,
+    kernel_prefix: str,
+    default_distance: int = 4,
+) -> CompiledPrefetchProgram:
+    """Emit kernels and configuration for ``chains`` of ``loop``."""
+
+    configuration = PrefetcherConfiguration()
+    program = CompiledPrefetchProgram(loop_name=loop.name, configuration=configuration)
+
+    for chain_index, chain in enumerate(chains):
+        try:
+            _generate_chain(
+                loop,
+                chain,
+                chain_index,
+                bindings,
+                configuration,
+                kernel_prefix=kernel_prefix,
+                default_distance=default_distance,
+            )
+        except CompilationError as error:
+            program.failures.append((chain.source, str(error)))
+            continue
+        program.chains.append(chain)
+        program.converted_sources.append(chain.source)
+
+    configuration.validate()
+    return program
+
+
+def _collect_params(value: Value, into: set[str]) -> None:
+    if isinstance(value, Param):
+        into.add(value.name)
+    for operand in value.operands():
+        _collect_params(operand, into)
+
+
+def _generate_chain(
+    loop: Loop,
+    chain: PrefetchChain,
+    chain_index: int,
+    bindings: Mapping[str, int],
+    configuration: PrefetcherConfiguration,
+    *,
+    kernel_prefix: str,
+    default_distance: int,
+) -> None:
+    if not chain.steps:
+        raise CompilationError("empty prefetch chain")
+
+    steps = chain.steps
+    root = steps[0]
+    stream_name = f"{kernel_prefix}_c{chain_index}"
+    seed_distance = chain.root_distance if chain.root_distance > 0 else default_distance
+    configuration.add_stream(stream_name, default_distance=seed_distance)
+
+    # Global registers: every array base plus every parameter used in index
+    # arithmetic (hash masks, shifts, table sizes, ...).
+    params: set[str] = set()
+    for step in steps:
+        params.add(step.array.base_param)
+        _collect_params(step.index_expr, params)
+    for name in sorted(params):
+        if name not in bindings:
+            raise CompilationError(f"parameter {name!r} is not bound to a runtime value")
+        configuration.set_global(name, int(bindings[name]))
+
+    # Memory-request tags: one per fill that must trigger a follow-on event.
+    tag_names: list[Optional[str]] = []
+    for step_index in range(len(steps)):
+        if step_index < len(steps) - 1:
+            tag_names.append(f"{stream_name}_s{step_index}")
+        else:
+            tag_names.append(None)
+
+    # Kernels.  Kernel 0 runs on demand loads of the root array; kernel i>0
+    # runs when the fill carrying tag i-1 returns.
+    kernel_names: list[str] = []
+    for step_index, step in enumerate(steps):
+        name = f"{stream_name}_e{step_index}"
+        kernel_names.append(name)
+
+    for step_index, step in enumerate(steps):
+        builder = KernelBuilder(kernel_names[step_index])
+        next_tag = -1
+        if tag_names[step_index] is not None:
+            next_tag = configuration.add_tag(
+                tag_names[step_index],
+                kernel_names[step_index + 1],
+                stream=stream_name,
+                chain_end=False,
+            )
+
+        if step_index == 0:
+            _emit_root_kernel(
+                builder, chain, configuration, stream_name, next_tag, loop
+            )
+        else:
+            _emit_fill_kernel(builder, steps[step_index], configuration, next_tag)
+        configuration.add_kernel(builder.build())
+
+    # Filter-table entry for the root array: trigger the on-load kernel, feed
+    # the iteration-time EWMA, and start the timed chain.
+    root_bounds = infer_bounds(root.array, loop, bindings)
+    configuration.add_range(
+        f"{stream_name}_{root.array.name}",
+        root_bounds[0],
+        root_bounds[1],
+        load_kernel=kernel_names[0],
+        stream=stream_name,
+        time_iterations=True,
+        chain_start=True,
+    )
+
+    # Chain-end entry for the final array, when its bounds are known, so the
+    # chain-latency EWMA gets its samples.
+    final = steps[-1]
+    if len(steps) > 1:
+        try:
+            final_bounds = infer_bounds(final.array, loop, bindings, allow_trip_count=False)
+        except CompilationError:
+            final_bounds = None
+        if final_bounds is not None:
+            configuration.add_range(
+                f"{stream_name}_{final.array.name}_end",
+                final_bounds[0],
+                final_bounds[1],
+                stream=stream_name,
+                chain_end=True,
+            )
+
+
+def _emit_root_kernel(
+    builder: KernelBuilder,
+    chain: PrefetchChain,
+    configuration: PrefetcherConfiguration,
+    stream_name: str,
+    next_tag: int,
+    loop: Loop,
+) -> None:
+    """Kernel triggered by a demand load to the root array."""
+
+    root = chain.root
+    shift = _element_shift(root.array)
+    base = builder.get_global(configuration.global_index(root.array.base_param))
+    vaddr = builder.get_vaddr()
+    index = builder.shr(builder.sub(vaddr, base), shift)
+    lookahead = builder.get_lookahead(configuration.stream_index(stream_name))
+    target_index = builder.add(index, lookahead)
+    target_addr = builder.add(base, builder.shl(target_index, shift))
+    builder.prefetch(target_addr, tag=next_tag)
+
+
+def _emit_fill_kernel(
+    builder: KernelBuilder,
+    step,
+    configuration: PrefetcherConfiguration,
+    next_tag: int,
+) -> None:
+    """Kernel triggered by the fill of the previous step's prefetch."""
+
+    shift = _element_shift(step.array)
+    incoming = builder.get_data()
+    index = _emit_expr(
+        builder, step.index_expr, configuration, incoming=incoming, index_from_vaddr=None
+    )
+    base = builder.get_global(configuration.global_index(step.array.base_param))
+    if isinstance(index, int):
+        offset: Union[Reg, int] = index << shift if index >= 0 else index
+        address = builder.add(base, offset)
+    else:
+        address = builder.add(base, builder.shl(index, shift))
+    builder.prefetch(address, tag=next_tag)

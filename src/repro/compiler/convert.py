@@ -1,0 +1,73 @@
+"""Software-prefetch conversion pass (Algorithm 1 of the paper).
+
+Given a loop containing software prefetches, the pass
+
+1. runs the depth-first dependence search backwards from each prefetch
+   (:mod:`repro.compiler.analysis`), failing where the paper fails
+   (control-dependent loads, multiple loads per address, no induction
+   variable);
+2. splits the surviving address computations into chains of single-load
+   events (:mod:`repro.compiler.split`);
+3. infers array bounds (:mod:`repro.compiler.bounds`);
+4. generates PPU kernels and the prefetcher configuration
+   (:mod:`repro.compiler.codegen`); and
+5. accounts for the software prefetches and address-generation code removed
+   from the main program (:mod:`repro.compiler.dce`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..errors import CompilationError
+from .analysis import decompose_prefetch
+from .codegen import CompiledPrefetchProgram, generate_configuration
+from .dce import prefetch_overhead_instructions
+from .ir import Loop
+from .split import PrefetchChain
+
+
+def convert_software_prefetches(
+    loop: Loop,
+    bindings: Mapping[str, int],
+    *,
+    kernel_prefix: Optional[str] = None,
+    default_distance: int = 4,
+) -> CompiledPrefetchProgram:
+    """Convert every software prefetch in ``loop`` into PPU events.
+
+    ``bindings`` supplies the runtime values of the loop's parameters (array
+    base addresses, lengths, masks, the trip count) — the same values the
+    generated configuration instructions would carry at run time.
+
+    The returned program records, per prefetch, whether it was converted or
+    why it could not be, plus how many main-core instructions the conversion
+    removed; workloads use the latter when constructing their converted-mode
+    traces.
+    """
+
+    prefix = kernel_prefix if kernel_prefix is not None else loop.name
+    prefetches = loop.software_prefetches()
+
+    chains: list[PrefetchChain] = []
+    failures: list[tuple[str, str]] = []
+    removed = 0
+    for prefetch in prefetches:
+        try:
+            chain = decompose_prefetch(loop, prefetch.array, prefetch.index, prefetch.name)
+        except CompilationError as error:
+            failures.append((prefetch.name, str(error)))
+            continue
+        chains.append(chain)
+        removed += prefetch_overhead_instructions(prefetch)
+
+    program = generate_configuration(
+        loop, chains, bindings, kernel_prefix=prefix, default_distance=default_distance
+    )
+    program.failures = failures + program.failures
+    program.removed_main_instructions = removed
+    if not prefetches:
+        program.failures.append(
+            ("loop", "no software prefetches to convert; use the pragma pass instead")
+        )
+    return program

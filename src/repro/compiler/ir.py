@@ -1,0 +1,280 @@
+"""Loop-level intermediate representation.
+
+The IR plays the role of the paper's LLVM IR in SSA form, restricted to what
+the two compiler passes actually inspect: a single loop with an induction
+variable, arrays accessed inside it, an expression graph over loop-invariant
+parameters, the induction variable and loads, plus software-prefetch and
+store statements.  Workloads describe their kernels in this IR; the passes in
+:mod:`repro.compiler.convert` and :mod:`repro.compiler.pragma` analyse it and
+emit PPU kernels.
+
+Design notes
+------------
+
+* Expressions form a DAG of :class:`Value` nodes.  There is no explicit phi
+  node: the loop's induction variable is the only control-flow-dependent value
+  the passes accept, exactly as in the paper ("Phi nodes identify either the
+  loop's induction variable, or another control-flow dependent value.  The
+  latter case requires more complex analysis, and in practice is rare").
+* Loops whose bodies contain inner control flow that the passes cannot express
+  (linked-list walks, data-dependent inner loops) mark it with
+  :attr:`Loop.has_irregular_control_flow`; both passes refuse to convert
+  accesses that depend on it, which reproduces the paper's limitations on
+  G500-List and the full G500-CSR edge walk.
+* Array elements are 64-bit words, matching the rest of the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from ..errors import CompilationError
+
+# --------------------------------------------------------------------- values
+
+
+class Value:
+    """Base class of all IR expression nodes."""
+
+    def operands(self) -> tuple["Value", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Constant(Value):
+    """A compile-time integer constant."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value})"
+
+
+@dataclass(frozen=True)
+class Param(Value):
+    """A loop-invariant runtime value (array base, hash mask, size, ...).
+
+    Parameters are bound to concrete values at code-generation time through
+    the ``bindings`` mapping; in hardware they become global prefetcher
+    registers.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Param({self.name})"
+
+
+@dataclass(frozen=True)
+class IndexVar(Value):
+    """The loop induction variable."""
+
+    name: str = "i"
+
+    def __repr__(self) -> str:
+        return f"IndexVar({self.name})"
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """An array accessed in the loop.
+
+    ``base_param`` names the parameter holding the base address.  Bounds are
+    known when ``length_param`` (or ``length``) is given — the typed-array
+    case of Section 6.2; otherwise the bounds pass falls back to the loop trip
+    count for arrays indexed directly by the induction variable.
+    """
+
+    name: str
+    base_param: str
+    length_param: Optional[str] = None
+    length: Optional[int] = None
+    element_bytes: int = 8
+
+    def __repr__(self) -> str:
+        return f"ArrayDecl({self.name})"
+
+
+@dataclass(frozen=True)
+class BinOp(Value):
+    """A binary arithmetic/logic operation."""
+
+    op: str
+    lhs: Value
+    rhs: Value
+
+    _VALID = ("add", "sub", "mul", "and", "or", "xor", "shl", "shr")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._VALID:
+            raise CompilationError(f"unsupported BinOp {self.op!r}")
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op}, {self.lhs!r}, {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Load(Value):
+    """``array[index]`` — a 64-bit load whose value feeds other expressions."""
+
+    array: ArrayDecl
+    index: Value
+    #: Marks loads whose address depends on inner, data-dependent control flow
+    #: (e.g. the linked-list walk in HJ-8 / G500-List).  Neither compiler pass
+    #: can convert through such loads.
+    control_dependent: bool = False
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.index,)
+
+    def __repr__(self) -> str:
+        return f"Load({self.array.name}[{self.index!r}])"
+
+
+# ----------------------------------------------------------------- statements
+
+
+class Statement:
+    """Base class of loop-body statements."""
+
+
+@dataclass(frozen=True)
+class SoftwarePrefetchStmt(Statement):
+    """``SWPF(&array[index])`` in the original source."""
+
+    array: ArrayDecl
+    index: Value
+    #: Optional label used in diagnostics.
+    name: str = "swpf"
+
+
+@dataclass(frozen=True)
+class StoreStmt(Statement):
+    """``array[index] = value``."""
+
+    array: ArrayDecl
+    index: Value
+    value: Optional[Value] = None
+
+
+@dataclass(frozen=True)
+class LoadStmt(Statement):
+    """A demand load whose value is consumed by compute (records loop reads)."""
+
+    load: Load
+
+
+@dataclass(frozen=True)
+class ComputeStmt(Statement):
+    """Arithmetic work that consumes values but produces no memory traffic."""
+
+    count: int = 1
+    uses: tuple[Value, ...] = ()
+
+
+# ----------------------------------------------------------------------- loop
+
+
+@dataclass
+class Loop:
+    """A single counted loop, the unit both compiler passes operate on."""
+
+    name: str
+    indvar: IndexVar
+    trip_count_param: Optional[str] = None
+    body: list[Statement] = field(default_factory=list)
+    arrays: list[ArrayDecl] = field(default_factory=list)
+    #: True when the loop was annotated with ``#pragma prefetch``.
+    pragma_prefetch: bool = False
+    #: True when the body contains data-dependent inner control flow the
+    #: passes cannot express (linked lists, variable-length inner loops).
+    has_irregular_control_flow: bool = False
+
+    # ------------------------------------------------------------------ build
+
+    def add(self, statement: Statement) -> Statement:
+        self.body.append(statement)
+        return statement
+
+    def declare_array(self, array: ArrayDecl) -> ArrayDecl:
+        if all(existing.name != array.name for existing in self.arrays):
+            self.arrays.append(array)
+        return array
+
+    # ----------------------------------------------------------------- queries
+
+    def software_prefetches(self) -> list[SoftwarePrefetchStmt]:
+        return [s for s in self.body if isinstance(s, SoftwarePrefetchStmt)]
+
+    def loads(self) -> list[Load]:
+        """Every distinct Load value reachable from the loop body."""
+
+        seen: list[Load] = []
+        seen_ids: set[int] = set()
+
+        def visit(value: Value) -> None:
+            if id(value) in seen_ids:
+                return
+            seen_ids.add(id(value))
+            if isinstance(value, Load):
+                seen.append(value)
+            for operand in value.operands():
+                visit(operand)
+
+        for statement in self.body:
+            for value in _statement_values(statement):
+                visit(value)
+        return seen
+
+    def array(self, name: str) -> ArrayDecl:
+        for array in self.arrays:
+            if array.name == name:
+                return array
+        raise CompilationError(f"loop {self.name!r} declares no array named {name!r}")
+
+
+def _statement_values(statement: Statement) -> Iterable[Value]:
+    if isinstance(statement, SoftwarePrefetchStmt):
+        return (statement.index,)
+    if isinstance(statement, StoreStmt):
+        return (statement.index,) if statement.value is None else (statement.index, statement.value)
+    if isinstance(statement, LoadStmt):
+        return (statement.load,)
+    if isinstance(statement, ComputeStmt):
+        return statement.uses
+    return ()
+
+
+# -------------------------------------------------------------- small helpers
+
+
+def add(lhs: Value, rhs: Union[Value, int]) -> BinOp:
+    return BinOp("add", lhs, _wrap(rhs))
+
+
+def sub(lhs: Value, rhs: Union[Value, int]) -> BinOp:
+    return BinOp("sub", lhs, _wrap(rhs))
+
+
+def mul(lhs: Value, rhs: Union[Value, int]) -> BinOp:
+    return BinOp("mul", lhs, _wrap(rhs))
+
+
+def and_(lhs: Value, rhs: Union[Value, int]) -> BinOp:
+    return BinOp("and", lhs, _wrap(rhs))
+
+
+def shr(lhs: Value, rhs: Union[Value, int]) -> BinOp:
+    return BinOp("shr", lhs, _wrap(rhs))
+
+
+def shl(lhs: Value, rhs: Union[Value, int]) -> BinOp:
+    return BinOp("shl", lhs, _wrap(rhs))
+
+
+def _wrap(value: Union[Value, int]) -> Value:
+    return Constant(value) if isinstance(value, int) else value

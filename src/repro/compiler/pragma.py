@@ -1,0 +1,100 @@
+"""Pragma-driven event generation (Section 6.4).
+
+For a loop annotated with ``#pragma prefetch`` the compiler has no software
+prefetches to start from; instead it looks for loads that feature indirection
+(their address depends on the value of another load) whose dependence chain
+bottoms out at the loop induction variable, and generates the same chains of
+events the conversion pass would.  Because there is no programmer-supplied
+distance, the chains rely entirely on the EWMA look-ahead.
+
+The pass reproduces the paper's limitations: it cannot see through
+data-dependent control flow (linked lists, variable-length inner edge walks),
+it has no runtime knowledge of which structures already hit in the cache (so
+it may generate useless prefetches — the paper notes slightly reduced
+performance for IntSort, ConjGrad and PageRank from exactly this), and it can
+only discover patterns expressible as single-load event chains.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..errors import CompilationError
+from .analysis import decompose_prefetch, find_variant_loads
+from .codegen import CompiledPrefetchProgram, generate_configuration
+from .ir import Load, Loop
+from .split import PrefetchChain
+
+
+def _indirect_top_level_loads(loop: Loop) -> tuple[list[Load], list[tuple[str, str]]]:
+    """Loads with at least one load feeding their address, not nested in another load.
+
+    Returns the candidate loads plus failure records for indirect loads the
+    pass cannot touch because they sit behind data-dependent control flow
+    (list walks, variable-length inner loops).
+    """
+
+    all_loads = loop.loads()
+    nested: set[int] = set()
+    for load in all_loads:
+        for inner in find_variant_loads(load.index, loop):
+            nested.add(id(inner))
+
+    candidates: list[Load] = []
+    skipped: list[tuple[str, str]] = []
+    for load in all_loads:
+        if id(load) in nested:
+            continue
+        if load.control_dependent:
+            skipped.append(
+                (
+                    f"load:{load.array.name}",
+                    "address depends on data-dependent control flow; the pragma "
+                    "pass cannot express loops",
+                )
+            )
+            continue
+        if find_variant_loads(load.index, loop):
+            candidates.append(load)
+    return candidates, skipped
+
+
+def generate_from_pragma(
+    loop: Loop,
+    bindings: Mapping[str, int],
+    *,
+    kernel_prefix: Optional[str] = None,
+    default_distance: int = 4,
+) -> CompiledPrefetchProgram:
+    """Generate prefetch events for a ``#pragma prefetch`` loop."""
+
+    if not loop.pragma_prefetch:
+        raise CompilationError(
+            f"loop {loop.name!r} is not annotated with '#pragma prefetch'"
+        )
+
+    prefix = kernel_prefix if kernel_prefix is not None else f"{loop.name}_pragma"
+    chains: list[PrefetchChain] = []
+    signatures: set[tuple[str, ...]] = set()
+
+    candidates, failures = _indirect_top_level_loads(loop)
+    for load in candidates:
+        source = f"load:{load.array.name}"
+        try:
+            chain = decompose_prefetch(loop, load.array, load.index, source)
+        except CompilationError as error:
+            failures.append((source, str(error)))
+            continue
+        if chain.signature() in signatures:
+            continue
+        signatures.add(chain.signature())
+        chains.append(chain)
+
+    if not chains and not failures:
+        failures.append(("loop", "no indirect loads discovered under the pragma"))
+
+    program = generate_configuration(
+        loop, chains, bindings, kernel_prefix=prefix, default_distance=default_distance
+    )
+    program.failures = failures + program.failures
+    return program

@@ -1,0 +1,72 @@
+"""Chain/event decomposition data structures (``split_on_loads``).
+
+Algorithm 1 of the paper splits the address-generation code of a software
+prefetch into *events*, each ending in exactly one load: the first event is
+triggered by the loop's own strided access (its induction variable recovered
+from the observed address), and each subsequent event is triggered by the
+return of the previous event's prefetch.  :class:`PrefetchChain` is the result
+of that split: an ordered list of :class:`ChainStep`, root first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .ir import ArrayDecl, Value
+
+
+@dataclass(frozen=True)
+class Incoming(Value):
+    """Placeholder for the value produced by the previous step's prefetch.
+
+    At code-generation time it becomes the PPU's ``get_data()`` — the word of
+    the forwarded cache line at the triggering address.
+    """
+
+    def __repr__(self) -> str:
+        return "Incoming()"
+
+
+@dataclass(frozen=True)
+class ChainStep:
+    """One event of a prefetch chain.
+
+    ``array`` is the data structure this step prefetches from;
+    ``index_expr`` computes the element index.  For the root step the
+    expression is over the induction variable (plus constants); for later
+    steps it is over :class:`Incoming` (the previous step's loaded value) and
+    loop-invariant parameters.
+    """
+
+    array: ArrayDecl
+    index_expr: Value
+    is_root: bool = False
+
+
+@dataclass
+class PrefetchChain:
+    """A root-first sequence of chain steps plus metadata."""
+
+    steps: list[ChainStep] = field(default_factory=list)
+    #: Constant look-ahead distance found in the root index (``x + dist``);
+    #: zero when the source had none (pragma-generated chains).
+    root_distance: int = 0
+    #: Name of the software prefetch or load that produced the chain.
+    source: str = "chain"
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def root(self) -> ChainStep:
+        return self.steps[0]
+
+    @property
+    def arrays(self) -> tuple[str, ...]:
+        return tuple(step.array.name for step in self.steps)
+
+    def signature(self) -> tuple[str, ...]:
+        """Used to de-duplicate chains discovered more than once."""
+
+        return self.arrays

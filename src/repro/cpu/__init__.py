@@ -1,0 +1,13 @@
+"""Main-core model: dynamic traces and the out-of-order timing model."""
+
+from .core import CoreStats, OutOfOrderCore
+from .trace import OpKind, Trace, TraceBuilder, TraceOp
+
+__all__ = [
+    "OpKind",
+    "Trace",
+    "TraceBuilder",
+    "TraceOp",
+    "OutOfOrderCore",
+    "CoreStats",
+]

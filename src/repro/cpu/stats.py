@@ -1,0 +1,10 @@
+"""Re-export of the core statistics container.
+
+:class:`~repro.cpu.core.CoreStats` is defined next to the core model; this
+module exists so that ``from repro.cpu.stats import CoreStats`` reads
+naturally in analysis code, mirroring :mod:`repro.memory.stats`.
+"""
+
+from .core import CoreStats
+
+__all__ = ["CoreStats"]

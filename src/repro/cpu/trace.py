@@ -1,0 +1,166 @@
+"""Dynamic instruction traces.
+
+The workloads in :mod:`repro.workloads` do not run as native programs; they
+run once in Python against the simulated address space and record the dynamic
+stream of operations the real program would execute: loads and stores with
+their virtual addresses and *data dependences*, blocks of arithmetic work,
+branches, and (for the software-prefetch variants) prefetch instructions with
+their address-generation overhead.
+
+The dependence information is what lets the out-of-order core model recover
+exactly as much memory-level parallelism as the real core could: a load that
+depends on another load (pointer chasing, `C[B[A[x]]]`) cannot issue until the
+first load's data returns, whereas independent loads overlap up to the
+load-queue and MSHR limits.  This mirrors footnote 1 of the paper: the hash
+join's list walk cannot be overlapped by the out-of-order core because each
+load depends on the previous one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import TraceError
+
+
+class OpKind(IntEnum):
+    """Kinds of trace operations."""
+
+    COMPUTE = 0
+    LOAD = 1
+    STORE = 2
+    SOFTWARE_PREFETCH = 3
+    BRANCH = 4
+    CONFIG = 5
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """A single dynamic operation.
+
+    ``count`` is the number of machine instructions the op represents (only
+    greater than one for :attr:`OpKind.COMPUTE` blocks); ``deps`` are indices
+    of earlier ops whose results this op consumes.
+    """
+
+    kind: OpKind
+    addr: int = 0
+    count: int = 1
+    deps: tuple[int, ...] = ()
+
+
+class Trace:
+    """An in-memory dynamic trace (a sequence of :class:`TraceOp`)."""
+
+    def __init__(self, ops: Sequence[TraceOp]) -> None:
+        self._ops = list(ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        return iter(self._ops)
+
+    def __getitem__(self, index: int) -> TraceOp:
+        return self._ops[index]
+
+    @property
+    def ops(self) -> list[TraceOp]:
+        return self._ops
+
+    # -------------------------------------------------------------- summaries
+
+    def instruction_count(self) -> int:
+        """Total dynamic machine instructions represented by the trace."""
+
+        return sum(op.count for op in self._ops)
+
+    def count_kind(self, kind: OpKind) -> int:
+        return sum(1 for op in self._ops if op.kind == kind)
+
+    def memory_op_count(self) -> int:
+        return sum(1 for op in self._ops if op.kind in (OpKind.LOAD, OpKind.STORE))
+
+    def validate(self) -> None:
+        """Check that every dependence points at an earlier op."""
+
+        for index, op in enumerate(self._ops):
+            for dep in op.deps:
+                if dep < 0 or dep >= index:
+                    raise TraceError(
+                        f"op {index} depends on op {dep}, which is not an earlier op"
+                    )
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "ops": len(self._ops),
+            "instructions": self.instruction_count(),
+            "loads": self.count_kind(OpKind.LOAD),
+            "stores": self.count_kind(OpKind.STORE),
+            "software_prefetches": self.count_kind(OpKind.SOFTWARE_PREFETCH),
+            "branches": self.count_kind(OpKind.BRANCH),
+            "compute_blocks": self.count_kind(OpKind.COMPUTE),
+        }
+
+
+class TraceBuilder:
+    """Convenience builder used by the workloads to record their traces.
+
+    Every emitting method returns the index of the new op, which later ops can
+    pass as a dependence.  Example::
+
+        tb = TraceBuilder()
+        a = tb.load(addr_of_A)              # independent load
+        b = tb.load(addr_of_B, deps=[a])    # dependent (indirect) load
+        tb.compute(2, deps=[b])             # work on the loaded value
+    """
+
+    def __init__(self) -> None:
+        self._ops: list[TraceOp] = []
+
+    def _emit(self, op: TraceOp) -> int:
+        for dep in op.deps:
+            if dep < 0 or dep >= len(self._ops):
+                raise TraceError(
+                    f"dependence {dep} does not refer to an earlier op "
+                    f"(trace currently has {len(self._ops)} ops)"
+                )
+        self._ops.append(op)
+        return len(self._ops) - 1
+
+    def load(self, addr: int, deps: Iterable[int] = ()) -> int:
+        """Record a demand load of the word at ``addr``."""
+
+        return self._emit(TraceOp(OpKind.LOAD, addr=addr, deps=tuple(deps)))
+
+    def store(self, addr: int, deps: Iterable[int] = ()) -> int:
+        """Record a store to the word at ``addr``."""
+
+        return self._emit(TraceOp(OpKind.STORE, addr=addr, deps=tuple(deps)))
+
+    def compute(self, count: int = 1, deps: Iterable[int] = ()) -> int:
+        """Record ``count`` ALU instructions consuming the given results."""
+
+        if count < 1:
+            raise TraceError("compute blocks must contain at least one instruction")
+        return self._emit(TraceOp(OpKind.COMPUTE, count=count, deps=tuple(deps)))
+
+    def branch(self, deps: Iterable[int] = ()) -> int:
+        """Record a conditional branch depending on the given results."""
+
+        return self._emit(TraceOp(OpKind.BRANCH, deps=tuple(deps)))
+
+    def software_prefetch(self, addr: int, deps: Iterable[int] = ()) -> int:
+        """Record an explicit software-prefetch instruction for ``addr``."""
+
+        return self._emit(TraceOp(OpKind.SOFTWARE_PREFETCH, addr=addr, deps=tuple(deps)))
+
+    def build(self) -> Trace:
+        """Return the completed trace."""
+
+        return Trace(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can distinguish library failures from programming errors in their own
+code with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid system, prefetcher or workload configuration was supplied."""
+
+
+class AddressSpaceError(ReproError):
+    """An invalid operation on the simulated virtual address space."""
+
+
+class AllocationError(AddressSpaceError):
+    """Allocation failed (out of simulated address space or bad size)."""
+
+
+class AccessError(AddressSpaceError):
+    """A read or write touched unmapped simulated memory."""
+
+
+class TraceError(ReproError):
+    """A malformed dynamic trace (bad dependence, unknown op kind, ...)."""
+
+
+class KernelError(ReproError):
+    """An invalid PPU kernel program (bad register, unknown opcode, ...)."""
+
+
+class KernelRuntimeError(KernelError):
+    """A PPU kernel faulted at run time.
+
+    In hardware this simply terminates the prefetch event (Section 5.1 of the
+    paper: "any operation that would usually cause a trap or exception
+    immediately causes termination of the prefetch event").  The interpreter
+    raises this error internally and the PPU model converts it into a silent
+    kernel abort.
+    """
+
+
+class CompilationError(ReproError):
+    """The compiler pass could not convert the requested loop."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload was asked for something it cannot provide.
+
+    For example, requesting a software-prefetch trace for PageRank, which the
+    paper notes cannot express software prefetches (Boost iterators hide the
+    element addresses).
+    """

@@ -1,0 +1,52 @@
+"""Experiment harness: regenerate every table and figure of the evaluation.
+
+Each module reproduces one artefact of Section 7:
+
+* :mod:`~repro.eval.figure7`  — speedups of every prefetching scheme.
+* :mod:`~repro.eval.figure8`  — L1 prefetch utilisation and read hit rates.
+* :mod:`~repro.eval.figure9`  — PPU clock-speed and PPU-count sweeps.
+* :mod:`~repro.eval.figure10` — per-PPU activity factors.
+* :mod:`~repro.eval.figure11` — event triggering vs blocking on loads.
+* :mod:`~repro.eval.memtraffic` — extra memory accesses (Section 7.2 text).
+* :mod:`~repro.eval.table1`   — the simulated system configuration.
+* :mod:`~repro.eval.table2`   — the benchmark summary.
+* :mod:`~repro.eval.report`   — runs everything and renders EXPERIMENTS.md.
+
+Every experiment function returns a plain data structure (suitable for tests
+and further analysis) and has a ``format_*`` companion that renders the
+ASCII table printed by the examples and benchmarks.
+"""
+
+from .figure7 import Figure7Data, format_figure7, run_figure7
+from .figure8 import Figure8Data, format_figure8, run_figure8
+from .figure9 import Figure9Data, format_figure9, run_figure9
+from .figure10 import Figure10Data, format_figure10, run_figure10
+from .figure11 import Figure11Data, format_figure11, run_figure11
+from .memtraffic import MemTrafficData, format_memtraffic, run_memtraffic
+from .table1 import format_table1, run_table1
+from .table2 import format_table2, run_table2
+
+__all__ = [
+    "run_figure7",
+    "format_figure7",
+    "Figure7Data",
+    "run_figure8",
+    "format_figure8",
+    "Figure8Data",
+    "run_figure9",
+    "format_figure9",
+    "Figure9Data",
+    "run_figure10",
+    "format_figure10",
+    "Figure10Data",
+    "run_figure11",
+    "format_figure11",
+    "Figure11Data",
+    "run_memtraffic",
+    "format_memtraffic",
+    "MemTrafficData",
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+]

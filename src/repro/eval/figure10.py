@@ -1,0 +1,87 @@
+"""Figure 10: how much of the run each PPU spends awake (activity factors)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..config import SystemConfig
+from ..sim.comparison import ComparisonResult, run_comparison
+from ..sim.modes import PrefetchMode
+from ..workloads import WORKLOAD_ORDER
+
+
+@dataclass
+class Figure10Data:
+    """Per-benchmark distribution of PPU activity factors (manual mode)."""
+
+    activity: dict[str, list[float]] = field(default_factory=dict)
+
+    def summary(self, workload: str) -> dict[str, float]:
+        """Min / quartiles / median / max, as Figure 10's box plot shows."""
+
+        factors = sorted(self.activity.get(workload, []))
+        if not factors:
+            return {"min": 0.0, "q1": 0.0, "median": 0.0, "q3": 0.0, "max": 0.0}
+
+        def percentile(fraction: float) -> float:
+            if len(factors) == 1:
+                return factors[0]
+            position = fraction * (len(factors) - 1)
+            low = int(position)
+            high = min(low + 1, len(factors) - 1)
+            weight = position - low
+            return factors[low] * (1 - weight) + factors[high] * weight
+
+        return {
+            "min": factors[0],
+            "q1": percentile(0.25),
+            "median": percentile(0.5),
+            "q3": percentile(0.75),
+            "max": factors[-1],
+        }
+
+    def unused_ppus(self, workload: str) -> int:
+        """PPUs never woken during the run (the paper calls these out)."""
+
+        return sum(1 for factor in self.activity.get(workload, []) if factor == 0.0)
+
+
+def run_figure10(
+    *,
+    workloads: Optional[Iterable[str]] = None,
+    config: Optional[SystemConfig] = None,
+    scale: str = "default",
+    seed: int = 42,
+    comparison: Optional[ComparisonResult] = None,
+) -> Figure10Data:
+    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    if comparison is None:
+        comparison = run_comparison(
+            names, [PrefetchMode.MANUAL], config=config, scale=scale, seed=seed
+        )
+    data = Figure10Data()
+    for name in names:
+        manual = comparison.result(name, PrefetchMode.MANUAL)
+        if manual is None:
+            continue
+        data.activity[name] = manual.activity_factors
+    return data
+
+
+def format_figure10(data: Figure10Data) -> str:
+    header = (
+        f"{'benchmark':<12}{'min':>8}{'q1':>8}{'median':>8}{'q3':>8}{'max':>8}{'unused':>8}"
+    )
+    lines = [
+        "Figure 10: fraction of time each PPU is awake (manual, 12 PPUs @ 1GHz)",
+        header,
+        "-" * len(header),
+    ]
+    for name in data.activity:
+        stats = data.summary(name)
+        lines.append(
+            f"{name:<12}{stats['min']:>8.2f}{stats['q1']:>8.2f}{stats['median']:>8.2f}"
+            f"{stats['q3']:>8.2f}{stats['max']:>8.2f}{data.unused_ppus(name):>8d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Figure 11: event triggering vs blocking on intermediate loads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..config import SystemConfig
+from ..sim.comparison import ComparisonResult, run_comparison
+from ..sim.modes import PrefetchMode
+from ..workloads import WORKLOAD_ORDER
+
+
+@dataclass
+class Figure11Data:
+    """Speedups with events vs with PPUs blocking on intermediate loads."""
+
+    events: dict[str, float] = field(default_factory=dict)
+    blocked: dict[str, float] = field(default_factory=dict)
+
+
+def run_figure11(
+    *,
+    workloads: Optional[Iterable[str]] = None,
+    config: Optional[SystemConfig] = None,
+    scale: str = "default",
+    seed: int = 42,
+    comparison: Optional[ComparisonResult] = None,
+) -> Figure11Data:
+    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    if comparison is None:
+        comparison = run_comparison(
+            names,
+            [PrefetchMode.MANUAL, PrefetchMode.MANUAL_BLOCKED],
+            config=config,
+            scale=scale,
+            seed=seed,
+        )
+    data = Figure11Data()
+    for name in names:
+        events = comparison.speedup(name, PrefetchMode.MANUAL)
+        blocked = comparison.speedup(name, PrefetchMode.MANUAL_BLOCKED)
+        if events is not None:
+            data.events[name] = events
+        if blocked is not None:
+            data.blocked[name] = blocked
+    return data
+
+
+def format_figure11(data: Figure11Data) -> str:
+    header = f"{'benchmark':<12}{'blocked':>10}{'events':>10}"
+    lines = [
+        "Figure 11: speedup with and without blocking on intermediate loads",
+        header,
+        "-" * len(header),
+    ]
+    for name in data.events:
+        blocked = data.blocked.get(name)
+        blocked_text = f"{blocked:>10.2f}" if blocked is not None else f"{'--':>10}"
+        lines.append(f"{name:<12}{blocked_text}{data.events[name]:>10.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Figure 7: speedup of every prefetching scheme over no prefetching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..config import SystemConfig
+from ..sim.comparison import ComparisonResult, run_comparison
+from ..sim.modes import FIGURE7_MODES, PrefetchMode
+from ..sim.results import geometric_mean
+from ..workloads import WORKLOAD_ORDER
+from . import paper_values
+
+
+@dataclass
+class Figure7Data:
+    """Per-benchmark speedups for each prefetching scheme."""
+
+    speedups: dict[str, dict[str, Optional[float]]] = field(default_factory=dict)
+    software_overhead: dict[str, float] = field(default_factory=dict)
+    comparison: Optional[ComparisonResult] = None
+
+    def geomean(self, mode: PrefetchMode) -> float:
+        values = [
+            row[mode.value]
+            for row in self.speedups.values()
+            if row.get(mode.value) is not None
+        ]
+        return geometric_mean([value for value in values if value is not None])
+
+
+def run_figure7(
+    *,
+    workloads: Optional[Iterable[str]] = None,
+    config: Optional[SystemConfig] = None,
+    scale: str = "default",
+    seed: int = 42,
+    comparison: Optional[ComparisonResult] = None,
+) -> Figure7Data:
+    """Reproduce Figure 7 (and the Section 7.1 instruction-overhead numbers)."""
+
+    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    if comparison is None:
+        comparison = run_comparison(
+            names, FIGURE7_MODES, config=config, scale=scale, seed=seed
+        )
+
+    data = Figure7Data(comparison=comparison)
+    for name in names:
+        row: dict[str, Optional[float]] = {}
+        for mode in FIGURE7_MODES:
+            row[mode.value] = comparison.speedup(name, mode)
+        data.speedups[name] = row
+
+        baseline = comparison.result(name, PrefetchMode.NONE)
+        software = comparison.result(name, PrefetchMode.SOFTWARE)
+        if baseline is not None and software is not None and baseline.instructions:
+            data.software_overhead[name] = (
+                software.instructions / baseline.instructions - 1.0
+            )
+    return data
+
+
+def format_figure7(data: Figure7Data) -> str:
+    """Render the Figure 7 table (one row per benchmark, one column per scheme)."""
+
+    modes = [mode.value for mode in FIGURE7_MODES]
+    header = f"{'benchmark':<12}" + "".join(f"{mode:>12}" for mode in modes)
+    lines = ["Figure 7: speedup over no prefetching", header, "-" * len(header)]
+    for name, row in data.speedups.items():
+        cells = []
+        for mode in modes:
+            value = row.get(mode)
+            cells.append(f"{value:>12.2f}" if value is not None else f"{'--':>12}")
+        lines.append(f"{name:<12}" + "".join(cells))
+    geomeans = []
+    for mode in FIGURE7_MODES:
+        value = data.geomean(mode)
+        geomeans.append(f"{value:>12.2f}" if value else f"{'--':>12}")
+    lines.append("-" * len(header))
+    lines.append(f"{'geomean':<12}" + "".join(geomeans))
+    paper = paper_values.PAPER_GEOMEAN
+    lines.append(
+        f"(paper geomeans: manual {paper['manual']:.1f}x, converted {paper['converted']:.1f}x, "
+        f"pragma {paper['pragma']:.1f}x)"
+    )
+    if data.software_overhead:
+        lines.append("")
+        lines.append("Software-prefetch dynamic instruction overhead (Section 7.1):")
+        for name, overhead in sorted(data.software_overhead.items()):
+            lines.append(f"  {name:<12} +{overhead * 100:5.1f} %")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Figure 8: L1 prefetch utilisation and read hit rates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..config import SystemConfig
+from ..sim.comparison import ComparisonResult, run_comparison
+from ..sim.modes import PrefetchMode
+from ..workloads import WORKLOAD_ORDER
+
+
+@dataclass
+class Figure8Data:
+    """Per-benchmark prefetch utilisation and hit rates."""
+
+    #: Figure 8(a): fraction of prefetches used before eviction from the L1.
+    utilisation: dict[str, float] = field(default_factory=dict)
+    #: Figure 8(b): L1 read hit rate without and with the programmable prefetcher.
+    hit_rates: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: The G500-List side note: L2 hit rates without/with prefetching.
+    l2_hit_rates: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+
+def run_figure8(
+    *,
+    workloads: Optional[Iterable[str]] = None,
+    config: Optional[SystemConfig] = None,
+    scale: str = "default",
+    seed: int = 42,
+    comparison: Optional[ComparisonResult] = None,
+) -> Figure8Data:
+    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    if comparison is None:
+        comparison = run_comparison(
+            names, [PrefetchMode.MANUAL], config=config, scale=scale, seed=seed
+        )
+
+    data = Figure8Data()
+    for name in names:
+        baseline = comparison.result(name, PrefetchMode.NONE)
+        manual = comparison.result(name, PrefetchMode.MANUAL)
+        if baseline is None or manual is None:
+            continue
+        data.utilisation[name] = manual.l1_prefetch_utilisation
+        data.hit_rates[name] = (baseline.l1_read_hit_rate, manual.l1_read_hit_rate)
+        data.l2_hit_rates[name] = (baseline.l2_read_hit_rate, manual.l2_read_hit_rate)
+    return data
+
+
+def format_figure8(data: Figure8Data) -> str:
+    lines = [
+        "Figure 8(a): proportion of prefetches used before eviction from the L1",
+        f"{'benchmark':<12}{'utilisation':>14}",
+        "-" * 26,
+    ]
+    for name, value in data.utilisation.items():
+        lines.append(f"{name:<12}{value:>14.2f}")
+
+    lines += [
+        "",
+        "Figure 8(b): L1 read hit rate (and L2, for the G500-List discussion)",
+        f"{'benchmark':<12}{'L1 no-PF':>10}{'L1 prog-PF':>12}{'L2 no-PF':>10}{'L2 prog-PF':>12}",
+        "-" * 58,
+    ]
+    for name, (before, after) in data.hit_rates.items():
+        l2_before, l2_after = data.l2_hit_rates.get(name, (0.0, 0.0))
+        lines.append(
+            f"{name:<12}{before:>10.2f}{after:>12.2f}{l2_before:>10.2f}{l2_after:>12.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Figure 9: PPU clock-frequency and PPU-count scaling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..config import SystemConfig
+from ..sim.results import geometric_mean
+from ..sim.sweeps import (
+    FIGURE9A_FREQUENCIES,
+    FIGURE9B_COUNTS,
+    FIGURE9B_FREQUENCIES,
+    ppu_count_frequency_sweep,
+    ppu_frequency_sweep,
+)
+from ..workloads import WORKLOAD_ORDER, build_workload
+from ..workloads.base import Workload
+
+
+@dataclass
+class Figure9Data:
+    """Clock-speed sweep per benchmark (9a) and count×clock sweep for G500-CSR (9b)."""
+
+    frequency_sweeps: dict[str, dict[float, float]] = field(default_factory=dict)
+    count_sweep: dict[tuple[int, float], float] = field(default_factory=dict)
+    count_sweep_workload: str = "g500-csr"
+
+    def geomean_at(self, frequency: float) -> float:
+        values = [
+            sweep[frequency]
+            for sweep in self.frequency_sweeps.values()
+            if frequency in sweep
+        ]
+        return geometric_mean(values)
+
+
+def run_figure9(
+    *,
+    workloads: Optional[Iterable[str]] = None,
+    config: Optional[SystemConfig] = None,
+    scale: str = "default",
+    seed: int = 42,
+    frequencies: Optional[Iterable[float]] = None,
+    counts: Optional[Iterable[int]] = None,
+    count_sweep_workload: str = "g500-csr",
+    prebuilt: Optional[dict[str, Workload]] = None,
+) -> Figure9Data:
+    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    frequency_list = list(frequencies) if frequencies is not None else list(FIGURE9A_FREQUENCIES)
+    count_list = list(counts) if counts is not None else list(FIGURE9B_COUNTS)
+
+    data = Figure9Data(count_sweep_workload=count_sweep_workload)
+    built: dict[str, Workload] = dict(prebuilt or {})
+
+    for name in names:
+        workload = built.get(name) or build_workload(name, scale=scale, seed=seed)
+        built[name] = workload
+        data.frequency_sweeps[name] = ppu_frequency_sweep(
+            workload, frequencies=frequency_list, config=config
+        )
+
+    sweep_workload = built.get(count_sweep_workload) or build_workload(
+        count_sweep_workload, scale=scale, seed=seed
+    )
+    data.count_sweep = ppu_count_frequency_sweep(
+        sweep_workload,
+        counts=count_list,
+        frequencies=frequency_list
+        if frequencies is not None
+        else list(FIGURE9B_FREQUENCIES),
+        config=config,
+    )
+    return data
+
+
+def format_figure9(data: Figure9Data) -> str:
+    frequencies = sorted({f for sweep in data.frequency_sweeps.values() for f in sweep})
+    header = f"{'benchmark':<12}" + "".join(f"{f:>9.3g}GHz" for f in frequencies)
+    lines = ["Figure 9(a): speedup vs PPU clock speed (12 PPUs)", header, "-" * len(header)]
+    for name, sweep in data.frequency_sweeps.items():
+        cells = "".join(
+            f"{sweep[f]:>12.2f}" if f in sweep else f"{'--':>12}" for f in frequencies
+        )
+        lines.append(f"{name:<12}{cells}")
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'geomean':<12}"
+        + "".join(f"{data.geomean_at(f):>12.2f}" for f in frequencies)
+    )
+
+    if data.count_sweep:
+        counts = sorted({count for count, _ in data.count_sweep})
+        sweep_frequencies = sorted({f for _, f in data.count_sweep})
+        lines += [
+            "",
+            f"Figure 9(b): PPU count x clock on {data.count_sweep_workload}",
+            f"{'PPUs':<6}" + "".join(f"{f:>9.3g}GHz" for f in sweep_frequencies),
+        ]
+        for count in counts:
+            cells = "".join(
+                f"{data.count_sweep.get((count, f), float('nan')):>12.2f}"
+                for f in sweep_frequencies
+            )
+            lines.append(f"{count:<6}{cells}")
+    return "\n".join(lines)

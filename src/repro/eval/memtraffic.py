@@ -1,0 +1,56 @@
+"""Extra memory accesses added by the programmable prefetcher (Section 7.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..config import SystemConfig
+from ..sim.comparison import ComparisonResult, run_comparison
+from ..sim.modes import PrefetchMode
+from ..workloads import WORKLOAD_ORDER
+
+
+@dataclass
+class MemTrafficData:
+    """Fractional increase in DRAM accesses with the programmable prefetcher."""
+
+    extra: dict[str, float] = field(default_factory=dict)
+    dram_accesses: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+
+def run_memtraffic(
+    *,
+    workloads: Optional[Iterable[str]] = None,
+    config: Optional[SystemConfig] = None,
+    scale: str = "default",
+    seed: int = 42,
+    comparison: Optional[ComparisonResult] = None,
+) -> MemTrafficData:
+    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    if comparison is None:
+        comparison = run_comparison(
+            names, [PrefetchMode.MANUAL], config=config, scale=scale, seed=seed
+        )
+    data = MemTrafficData()
+    for name in names:
+        baseline = comparison.result(name, PrefetchMode.NONE)
+        manual = comparison.result(name, PrefetchMode.MANUAL)
+        if baseline is None or manual is None:
+            continue
+        data.extra[name] = manual.extra_memory_accesses(baseline)
+        data.dram_accesses[name] = (baseline.dram_accesses, manual.dram_accesses)
+    return data
+
+
+def format_memtraffic(data: MemTrafficData) -> str:
+    header = f"{'benchmark':<12}{'no-PF DRAM':>12}{'manual DRAM':>12}{'extra':>10}"
+    lines = [
+        "Section 7.2: extra memory accesses from programmable prefetching",
+        header,
+        "-" * len(header),
+    ]
+    for name, extra in data.extra.items():
+        before, after = data.dram_accesses[name]
+        lines.append(f"{name:<12}{before:>12.0f}{after:>12.0f}{extra * 100:>9.1f}%")
+    return "\n".join(lines)

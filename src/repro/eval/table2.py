@@ -1,0 +1,31 @@
+"""Table 2: the benchmarks, their access patterns and inputs."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..workloads import WORKLOAD_ORDER, WORKLOADS
+
+
+def run_table2(
+    *, workloads: Optional[Iterable[str]] = None, scale: str = "default"
+) -> list[dict[str, str]]:
+    """Return one row per benchmark: source, pattern, paper input, scaled input."""
+
+    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    rows: list[dict[str, str]] = []
+    for name in names:
+        workload = WORKLOADS[name](scale=scale)
+        rows.append(workload.description())
+    return rows
+
+
+def format_table2(rows: Optional[list[dict[str, str]]] = None) -> str:
+    data = rows if rows is not None else run_table2()
+    header = f"{'benchmark':<12}{'pattern':<42}{'paper input':<28}{'reproduction input'}"
+    lines = ["Table 2: benchmarks evaluated", header, "-" * len(header)]
+    for row in data:
+        lines.append(
+            f"{row['name']:<12}{row['pattern']:<42}{row['paper_input']:<28}{row['repro_input']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Simulated memory substrate.
+
+This subpackage provides everything below the core: a simulated virtual
+address space holding the workloads' data structures, a two-level
+set-associative cache hierarchy with MSHRs, a DDR3-like DRAM model, and a
+two-level TLB.  The :class:`~repro.memory.hierarchy.MemoryHierarchy` class
+assembles them and exposes the two entry points the rest of the simulator
+uses: demand accesses from the core and prefetch requests from a prefetcher.
+"""
+
+from .address_space import AddressSpace, TypedArray
+from .cache import Cache, CacheStats
+from .dram import DRAMModel
+from .hierarchy import AccessResult, MemoryHierarchy
+from .layout import line_address, line_offset_words, page_number
+from .mshr import MSHRFile
+from .tlb import TLB
+
+__all__ = [
+    "AddressSpace",
+    "TypedArray",
+    "Cache",
+    "CacheStats",
+    "DRAMModel",
+    "MemoryHierarchy",
+    "AccessResult",
+    "MSHRFile",
+    "TLB",
+    "line_address",
+    "line_offset_words",
+    "page_number",
+]

@@ -1,0 +1,209 @@
+"""Set-associative cache model with LRU replacement and prefetch bookkeeping.
+
+The cache is a *timing-and-occupancy* model: it tracks which lines are
+resident, when each line's fill completes, whether the line was brought in by
+a prefetch, and whether a prefetched line was used by a demand access before
+eviction.  These are exactly the quantities behind Figure 8 of the paper
+(prefetch utilisation and L1 read hit rates).
+
+The cache does not store data — data lives in the
+:class:`~repro.memory.address_space.AddressSpace` — so fills never copy bytes;
+they only update the tag state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import CacheConfig
+from .layout import line_address
+
+
+@dataclass
+class CacheStats:
+    """Per-cache counters."""
+
+    demand_read_accesses: int = 0
+    demand_read_hits: int = 0
+    demand_write_accesses: int = 0
+    demand_write_hits: int = 0
+    inflight_merges: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    prefetch_requests: int = 0
+    prefetch_fills: int = 0
+    prefetch_redundant: int = 0
+    prefetch_merged: int = 0
+    prefetch_used: int = 0
+    prefetch_evicted_unused: int = 0
+    prefetch_unused_at_end: int = 0
+
+    @property
+    def demand_accesses(self) -> int:
+        return self.demand_read_accesses + self.demand_write_accesses
+
+    @property
+    def demand_hits(self) -> int:
+        return self.demand_read_hits + self.demand_write_hits
+
+    @property
+    def demand_read_hit_rate(self) -> float:
+        if self.demand_read_accesses == 0:
+            return 0.0
+        return self.demand_read_hits / self.demand_read_accesses
+
+    @property
+    def prefetch_utilisation(self) -> float:
+        """Fraction of completed prefetch fills used by a demand access."""
+
+        if self.prefetch_fills == 0:
+            return 0.0
+        return self.prefetch_used / self.prefetch_fills
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "demand_read_accesses": self.demand_read_accesses,
+            "demand_read_hits": self.demand_read_hits,
+            "demand_write_accesses": self.demand_write_accesses,
+            "demand_write_hits": self.demand_write_hits,
+            "demand_read_hit_rate": self.demand_read_hit_rate,
+            "inflight_merges": self.inflight_merges,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "dirty_evictions": self.dirty_evictions,
+            "prefetch_requests": self.prefetch_requests,
+            "prefetch_fills": self.prefetch_fills,
+            "prefetch_redundant": self.prefetch_redundant,
+            "prefetch_merged": self.prefetch_merged,
+            "prefetch_used": self.prefetch_used,
+            "prefetch_evicted_unused": self.prefetch_evicted_unused,
+            "prefetch_unused_at_end": self.prefetch_unused_at_end,
+            "prefetch_utilisation": self.prefetch_utilisation,
+        }
+
+
+@dataclass
+class CacheLine:
+    """Tag-array state for one resident (or in-flight) line."""
+
+    tag: int
+    fill_time: float
+    prefetched: bool = False
+    used: bool = False
+    dirty: bool = False
+    lru_stamp: int = 0
+
+
+class Cache:
+    """A single level of set-associative cache."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        config.validate()
+        self.config = config
+        self._num_sets = config.num_sets
+        self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(self._num_sets)]
+        self._lru_counter = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------- addressing
+
+    def _set_and_tag(self, addr: int) -> tuple[int, int]:
+        line = line_address(addr, self.config.line_bytes) // self.config.line_bytes
+        return line % self._num_sets, line // self._num_sets
+
+    # ----------------------------------------------------------------- lookup
+
+    def lookup(self, addr: int) -> Optional[CacheLine]:
+        """Return the line containing ``addr`` if resident or in flight."""
+
+        set_index, tag = self._set_and_tag(addr)
+        return self._sets[set_index].get(tag)
+
+    def contains(self, addr: int, time: float) -> bool:
+        """Return True when the line is resident and filled by ``time``."""
+
+        line = self.lookup(addr)
+        return line is not None and line.fill_time <= time
+
+    def touch(self, addr: int, *, write: bool = False) -> None:
+        """Update LRU state (and dirtiness) for a hit on ``addr``."""
+
+        line = self.lookup(addr)
+        if line is None:
+            return
+        self._lru_counter += 1
+        line.lru_stamp = self._lru_counter
+        if write:
+            line.dirty = True
+        if line.prefetched and not line.used:
+            line.used = True
+            self.stats.prefetch_used += 1
+
+    # ------------------------------------------------------------------ fills
+
+    def insert(
+        self,
+        addr: int,
+        fill_time: float,
+        *,
+        prefetched: bool = False,
+        write: bool = False,
+    ) -> Optional[CacheLine]:
+        """Insert the line containing ``addr``; return the evicted line, if any.
+
+        The line is inserted immediately but only becomes usable (a "hit") at
+        ``fill_time``; accesses between now and then merge with the in-flight
+        fill.
+        """
+
+        set_index, tag = self._set_and_tag(addr)
+        cache_set = self._sets[set_index]
+        victim: Optional[CacheLine] = None
+        if tag not in cache_set and len(cache_set) >= self.config.associativity:
+            victim_tag = min(cache_set, key=lambda t: cache_set[t].lru_stamp)
+            victim = cache_set.pop(victim_tag)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+            if victim.prefetched and not victim.used:
+                self.stats.prefetch_evicted_unused += 1
+        self._lru_counter += 1
+        cache_set[tag] = CacheLine(
+            tag=tag,
+            fill_time=fill_time,
+            prefetched=prefetched,
+            dirty=write,
+            lru_stamp=self._lru_counter,
+        )
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return victim
+
+    # ------------------------------------------------------------------ wrap-up
+
+    def finalize(self) -> None:
+        """Count prefetched lines never used by the end of the simulation."""
+
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                if line.prefetched and not line.used:
+                    self.stats.prefetch_unused_at_end += 1
+
+    def reset(self) -> None:
+        self._sets = [dict() for _ in range(self._num_sets)]
+        self._lru_counter = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ info
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.config.name}, {self.config.size_bytes // 1024}KB, "
+            f"{self.config.associativity}-way, {self.resident_lines} lines resident)"
+        )

@@ -1,0 +1,256 @@
+"""Assembly of the simulated memory hierarchy.
+
+:class:`MemoryHierarchy` wires together the L1 and L2 caches, their MSHR
+files, the TLB and the DRAM model, and exposes the two entry points used by
+the rest of the simulator:
+
+``demand_access``
+    called by the core timing model for every load and store in the dynamic
+    trace; returns the completion time of the access.
+
+``prefetch_access``
+    called by a prefetcher (the programmable engine, the stride prefetcher,
+    the GHB prefetcher, or a software-prefetch trace op); brings a line into
+    the L1/L2 and optionally invokes a fill callback, which is how the
+    event-triggered prefetcher reacts to its own prefetches.
+
+Two hooks let a prefetch engine observe the hierarchy the way the paper's
+address filter snoops the L1: ``demand_snoop`` is invoked for every demand
+*read* (Section 4.2: "the address filter snoops all loads coming from the
+main core"), and ``advance_hook`` is invoked with the current time before
+each demand access so an event-driven engine can catch up with simulated
+time before the core looks at the cache state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from .address_space import AddressSpace
+from .cache import Cache
+from .dram import DRAMModel
+from .mshr import MSHRFile
+from .stats import HierarchyStats
+from .tlb import TLB
+
+#: Signature of the demand-read snoop callback: ``(address, time, level)``,
+#: where ``level`` is the level that served the access ("l1", "l1_inflight",
+#: "l2", "l2_inflight" or "dram").  The programmable prefetcher's address
+#: filter ignores the level (it snoops all loads); the stride and GHB
+#: baselines use it to train on hits/misses as their original designs do.
+SnoopHook = Callable[[int, float, str], None]
+
+#: Signature of the time-advance callback: ``(time)``.
+AdvanceHook = Callable[[float], None]
+
+#: Signature of a prefetch-fill callback: ``(address, fill_time)``.
+FillCallback = Callable[[int, float], None]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a single demand access."""
+
+    completion_time: float
+    level: str
+    translation_latency: float
+
+    @property
+    def l1_hit(self) -> bool:
+        return self.level == "l1"
+
+
+class MemoryHierarchy:
+    """L1 + L2 + TLB + DRAM with prefetch support."""
+
+    def __init__(self, config: SystemConfig, address_space: Optional[AddressSpace] = None) -> None:
+        config.validate()
+        self.config = config
+        self.address_space = address_space if address_space is not None else AddressSpace()
+        self.l1 = Cache(config.l1)
+        self.l2 = Cache(config.l2)
+        self.l1_mshrs = MSHRFile(config.l1.mshrs)
+        self.l2_mshrs = MSHRFile(config.l2.mshrs)
+        self.tlb = TLB(config.tlb)
+        self.dram = DRAMModel(config.dram)
+        self.dropped_prefetches = 0
+        self._demand_snoop: Optional[SnoopHook] = None
+        self._advance_hook: Optional[AdvanceHook] = None
+
+    # ----------------------------------------------------------------- hooks
+
+    def set_demand_snoop(self, hook: Optional[SnoopHook]) -> None:
+        """Register the address-filter snoop for demand reads."""
+
+        self._demand_snoop = hook
+
+    def set_advance_hook(self, hook: Optional[AdvanceHook]) -> None:
+        """Register a callback run before each demand access with the access time."""
+
+        self._advance_hook = hook
+
+    # ---------------------------------------------------------------- demand
+
+    def demand_access(self, addr: int, time: float, *, write: bool = False) -> AccessResult:
+        """Perform a demand load or store issued by the core at ``time``."""
+
+        if time < 0:
+            raise SimulationError("access time must be non-negative")
+        if self._advance_hook is not None:
+            self._advance_hook(time)
+
+        result = self._do_demand_access(addr, time, write=write)
+        if not write and self._demand_snoop is not None:
+            self._demand_snoop(addr, time + result.translation_latency, result.level)
+        return result
+
+    def _do_demand_access(self, addr: int, time: float, *, write: bool) -> AccessResult:
+        translation_latency = self.tlb.translate(addr, time)
+        t = time + translation_latency
+
+        if write:
+            self.l1.stats.demand_write_accesses += 1
+        else:
+            self.l1.stats.demand_read_accesses += 1
+
+        line = self.l1.lookup(addr)
+        if line is not None and line.fill_time <= t:
+            self.l1.touch(addr, write=write)
+            if write:
+                self.l1.stats.demand_write_hits += 1
+            else:
+                self.l1.stats.demand_read_hits += 1
+            completion = t + self.config.l1.hit_latency
+            return AccessResult(completion, "l1", translation_latency)
+
+        if line is not None:
+            # The line is already being filled (by a prefetch or an earlier
+            # miss); this access merges with the outstanding fill.
+            self.l1.stats.inflight_merges += 1
+            self.l1.touch(addr, write=write)
+            completion = max(line.fill_time, t + self.config.l1.hit_latency)
+            return AccessResult(completion, "l1_inflight", translation_latency)
+
+        # L1 miss.
+        self.l1.stats.misses += 1
+        grant = self.l1_mshrs.allocate(t)
+        data_time, level = self._access_l2(addr, grant + self.config.l1.hit_latency, is_prefetch=False)
+        self.l1.insert(addr, data_time, prefetched=False, write=write)
+        self.l1_mshrs.register_fill(data_time)
+        return AccessResult(data_time, level, translation_latency)
+
+    # -------------------------------------------------------------- prefetch
+
+    def prefetch_access(
+        self,
+        addr: int,
+        time: float,
+        *,
+        on_fill: Optional[FillCallback] = None,
+    ) -> Optional[float]:
+        """Bring the line containing ``addr`` into the L1 as a prefetch.
+
+        Returns the time the data is available in the L1, or ``None`` when
+        the prefetch was discarded (unmapped address, i.e. what would have
+        been a page fault — Section 5.3).
+        """
+
+        if not self.address_space.is_mapped(addr):
+            self.dropped_prefetches += 1
+            return None
+
+        self.l1.stats.prefetch_requests += 1
+        translation_latency = self.tlb.translate(addr, time)
+        t = time + translation_latency
+
+        line = self.l1.lookup(addr)
+        if line is not None and line.fill_time <= t:
+            self.l1.stats.prefetch_redundant += 1
+            available = t + self.config.l1.hit_latency
+            if on_fill is not None:
+                on_fill(addr, available)
+            return available
+
+        if line is not None:
+            self.l1.stats.prefetch_merged += 1
+            if on_fill is not None:
+                on_fill(addr, line.fill_time)
+            return line.fill_time
+
+        grant = self.l1_mshrs.allocate(t)
+        data_time, _level = self._access_l2(addr, grant + self.config.l1.hit_latency, is_prefetch=True)
+        self.l1.insert(addr, data_time, prefetched=True)
+        self.l1_mshrs.register_fill(data_time)
+        if on_fill is not None:
+            on_fill(addr, data_time)
+        return data_time
+
+    def l1_mshr_next_free(self, time: float) -> float:
+        """Earliest time at or after ``time`` when the L1 can accept a prefetch."""
+
+        return self.l1_mshrs.next_free_time(time)
+
+    # ------------------------------------------------------------------- L2
+
+    def _access_l2(self, addr: int, time: float, *, is_prefetch: bool) -> tuple[float, str]:
+        line = self.l2.lookup(addr)
+        if is_prefetch:
+            self.l2.stats.prefetch_requests += 1
+        else:
+            self.l2.stats.demand_read_accesses += 1
+
+        if line is not None and line.fill_time <= time:
+            self.l2.touch(addr)
+            if not is_prefetch:
+                self.l2.stats.demand_read_hits += 1
+            return time + self.config.l2.hit_latency, "l2"
+
+        if line is not None:
+            self.l2.stats.inflight_merges += 1
+            self.l2.touch(addr)
+            return max(line.fill_time, time + self.config.l2.hit_latency), "l2_inflight"
+
+        self.l2.stats.misses += 1
+        grant = self.l2_mshrs.allocate(time)
+        dram_completion = self.dram.access(
+            grant + self.config.l2.hit_latency, is_prefetch=is_prefetch
+        )
+        victim = self.l2.insert(addr, dram_completion, prefetched=is_prefetch)
+        if victim is not None and victim.dirty:
+            self.dram.stats.writebacks += 1
+        self.l2_mshrs.register_fill(dram_completion)
+        return dram_completion, "dram"
+
+    # ------------------------------------------------------------------ misc
+
+    def read_line(self, addr: int) -> list[int]:
+        """Return the 8 data words of the cache line containing ``addr``."""
+
+        return self.address_space.read_line(addr)
+
+    def finalize(self) -> None:
+        """Close out end-of-run statistics (unused prefetched lines)."""
+
+        self.l1.finalize()
+        self.l2.finalize()
+
+    def collect_stats(self) -> HierarchyStats:
+        return HierarchyStats(
+            l1=self.l1.stats.as_dict(),
+            l2=self.l2.stats.as_dict(),
+            tlb=self.tlb.stats.as_dict(),
+            dram=self.dram.stats.as_dict(),
+            dropped_prefetches=self.dropped_prefetches,
+        )
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()
+        self.l1_mshrs.reset()
+        self.l2_mshrs.reset()
+        self.tlb.reset()
+        self.dram.reset()
+        self.dropped_prefetches = 0

@@ -1,0 +1,71 @@
+"""Miss-status-holding-register (MSHR) file model.
+
+MSHRs bound the number of outstanding misses a cache can sustain.  The model
+tracks the completion times of in-flight fills; a new miss that arrives when
+all MSHRs are busy is delayed until the earliest outstanding fill completes.
+The prefetch request queue drains into the L1 only when an MSHR is free
+(Section 4.6 of the paper), which this model also provides via
+:meth:`next_free_time`.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..errors import ConfigurationError
+
+
+class MSHRFile:
+    """A fixed-capacity set of miss-status holding registers."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("MSHR capacity must be at least 1")
+        self._capacity = capacity
+        self._completions: list[float] = []
+        self.total_allocations = 0
+        self.total_stall_cycles = 0.0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._completions)
+
+    def _reclaim(self, now: float) -> None:
+        while self._completions and self._completions[0] <= now:
+            heapq.heappop(self._completions)
+
+    def next_free_time(self, now: float) -> float:
+        """Earliest time at or after ``now`` when an MSHR can be allocated."""
+
+        self._reclaim(now)
+        if len(self._completions) < self._capacity:
+            return now
+        return self._completions[0]
+
+    def allocate(self, now: float) -> float:
+        """Allocate an MSHR, returning the time the allocation takes effect.
+
+        If the file is full the allocation is delayed until the earliest
+        outstanding fill completes; the delay is accounted as a stall.
+        """
+
+        grant = self.next_free_time(now)
+        if grant > now:
+            self.total_stall_cycles += grant - now
+            self._reclaim(grant)
+        self.total_allocations += 1
+        return grant
+
+    def register_fill(self, completion_time: float) -> None:
+        """Record the completion time of the fill occupying the MSHR."""
+
+        heapq.heappush(self._completions, completion_time)
+
+    def reset(self) -> None:
+        self._completions.clear()
+        self.total_allocations = 0
+        self.total_stall_cycles = 0.0

@@ -1,0 +1,48 @@
+"""Statistics containers shared by the memory hierarchy components.
+
+The per-cache :class:`~repro.memory.cache.CacheStats` lives next to the cache
+implementation; this module holds the aggregate view used by simulation
+results and the evaluation scripts (Figure 8 and the extra-memory-traffic
+analysis in Section 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregated statistics of a full simulation's memory behaviour."""
+
+    l1: dict[str, float] = field(default_factory=dict)
+    l2: dict[str, float] = field(default_factory=dict)
+    tlb: dict[str, float] = field(default_factory=dict)
+    dram: dict[str, float] = field(default_factory=dict)
+    dropped_prefetches: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "l1": dict(self.l1),
+            "l2": dict(self.l2),
+            "tlb": dict(self.tlb),
+            "dram": dict(self.dram),
+            "dropped_prefetches": self.dropped_prefetches,
+        }
+
+    @property
+    def l1_read_hit_rate(self) -> float:
+        return float(self.l1.get("demand_read_hit_rate", 0.0))
+
+    @property
+    def l2_read_hit_rate(self) -> float:
+        return float(self.l2.get("demand_read_hit_rate", 0.0))
+
+    @property
+    def l1_prefetch_utilisation(self) -> float:
+        return float(self.l1.get("prefetch_utilisation", 0.0))
+
+    @property
+    def dram_total_accesses(self) -> float:
+        return float(self.dram.get("total_accesses", 0.0))

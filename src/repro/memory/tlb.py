@@ -1,0 +1,101 @@
+"""Two-level TLB and page-table-walker cost model.
+
+Translation cost is added to every demand access and to every prefetch issued
+from the prefetch request queue (the paper's prefetcher translates through the
+shared TLB).  Page faults never occur for workload data because every workload
+address is mapped; prefetches to unmapped addresses (e.g. a speculative
+pointer that turns out to be garbage) are discarded by the hierarchy, matching
+Section 5.3 ("the prefetcher ... cannot handle page faults, so in this case we
+discard the prefetch").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..config import TLBConfig
+from .layout import page_number
+
+
+@dataclass
+class TLBStats:
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    walks: int = 0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_hits / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "accesses": self.accesses,
+            "l1_hits": self.l1_hits,
+            "l2_hits": self.l2_hits,
+            "walks": self.walks,
+            "l1_hit_rate": self.l1_hit_rate,
+        }
+
+
+class _LRUSet:
+    """A small fully-associative LRU structure keyed by virtual page number."""
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._entries: OrderedDict[int, None] = OrderedDict()
+
+    def lookup(self, page: int) -> bool:
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            return True
+        return False
+
+    def insert(self, page: int) -> None:
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            return
+        if len(self._entries) >= self._capacity:
+            self._entries.popitem(last=False)
+        self._entries[page] = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class TLB:
+    """Two-level TLB returning the extra latency of address translation."""
+
+    def __init__(self, config: TLBConfig) -> None:
+        self.config = config
+        self._l1 = _LRUSet(config.l1_entries)
+        self._l2 = _LRUSet(config.l2_entries)
+        self.stats = TLBStats()
+
+    def translate(self, addr: int, time: float) -> float:
+        """Return the translation latency (in cycles) for ``addr``.
+
+        ``time`` is accepted for interface symmetry with the caches; the TLB
+        model itself is stateless in time.
+        """
+
+        del time  # latency-only model
+        page = page_number(addr, self.config.page_bytes)
+        self.stats.accesses += 1
+        if self._l1.lookup(page):
+            self.stats.l1_hits += 1
+            return 0.0
+        if self._l2.lookup(page):
+            self.stats.l2_hits += 1
+            self._l1.insert(page)
+            return float(self.config.l2_hit_latency)
+        self.stats.walks += 1
+        self._l2.insert(page)
+        self._l1.insert(page)
+        return float(self.config.l2_hit_latency + self.config.walk_latency)
+
+    def reset(self) -> None:
+        self._l1 = _LRUSet(self.config.l1_entries)
+        self._l2 = _LRUSet(self.config.l2_entries)
+        self.stats = TLBStats()

@@ -1,0 +1,19 @@
+"""The no-prefetching baseline."""
+
+from __future__ import annotations
+
+from .base import HardwarePrefetcher
+
+
+class NullPrefetcher(HardwarePrefetcher):
+    """A prefetcher that never prefetches.
+
+    Used as the Figure 7 baseline; attaching it is equivalent to leaving the
+    hierarchy's snoop hook unset, but having an object keeps the simulation
+    driver uniform across modes.
+    """
+
+    name = "none"
+
+    def train(self, addr: int, time: float, level: str) -> list[int]:
+        return []

@@ -1,0 +1,49 @@
+"""The event-triggered programmable prefetcher (the paper's contribution).
+
+The subpackage models every structure in Figure 3 of the paper:
+
+* :mod:`~repro.programmable.kernel` / :mod:`~repro.programmable.interpreter` —
+  the PPU kernel ISA and its functional+timing interpreter.
+* :mod:`~repro.programmable.filter` — the address filter and filter table.
+* :mod:`~repro.programmable.queues` — the observation queue and the prefetch
+  request queue (droppable FIFOs).
+* :mod:`~repro.programmable.ppu` / :mod:`~repro.programmable.scheduler` — the
+  programmable prefetch units and the observation scheduler.
+* :mod:`~repro.programmable.ewma` — the EWMA calculators that derive dynamic
+  look-ahead distances.
+* :mod:`~repro.programmable.registers` — the global prefetcher registers.
+* :mod:`~repro.programmable.config_api` — the configuration the main program
+  installs before a loop (address bounds, kernels, tags, globals).
+* :mod:`~repro.programmable.prefetcher` — the engine that ties it together and
+  plugs into the memory hierarchy.
+"""
+
+from .config_api import PrefetcherConfiguration, RangeConfig
+from .ewma import EWMA, LookaheadCalculator
+from .interpreter import KernelExecutionResult, execute_kernel
+from .kernel import KernelBuilder, KernelProgram, Opcode, Reg
+from .ppu import PPU
+from .prefetcher import EventTriggeredPrefetcher
+from .queues import ObservationQueue, PrefetchRequestQueue
+from .registers import GlobalRegisterFile
+from .scheduler import LowestFreeIdPolicy, RoundRobinPolicy
+
+__all__ = [
+    "KernelBuilder",
+    "KernelProgram",
+    "Opcode",
+    "Reg",
+    "KernelExecutionResult",
+    "execute_kernel",
+    "PrefetcherConfiguration",
+    "RangeConfig",
+    "EWMA",
+    "LookaheadCalculator",
+    "PPU",
+    "ObservationQueue",
+    "PrefetchRequestQueue",
+    "GlobalRegisterFile",
+    "EventTriggeredPrefetcher",
+    "LowestFreeIdPolicy",
+    "RoundRobinPolicy",
+]

@@ -1,0 +1,269 @@
+"""Prefetcher configuration installed by the main program.
+
+Before entering a prefetch-targeted loop, the main program executes a handful
+of configuration instructions (emitted by the programmer or by the compiler
+passes of Section 6) that tell the prefetcher:
+
+* which **virtual address ranges** to watch, and which kernel to run when a
+  demand load or a completed prefetch falls in each range (the filter table,
+  Section 4.2);
+* which **kernels** exist (their code lives in the PPUs' shared instruction
+  cache);
+* which **memory-request tags** exist for linked structures that cannot be
+  identified by address range (Section 4.7), and which kernel each tag's
+  returning prefetch should trigger;
+* the values of **global prefetcher registers** (array bases, hash masks,
+  element sizes — the ``get_base()`` values of Figure 4); and
+* which **EWMA streams** exist for dynamic look-ahead (Section 4.5).
+
+A :class:`PrefetcherConfiguration` is a plain description; the engine in
+:mod:`repro.programmable.prefetcher` instantiates the runtime structures from
+it.  It is also the unit of state that survives a context switch (Section 5.3:
+only the configuration — global registers and the address table — needs to be
+preserved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .kernel import KernelProgram
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """An EWMA look-ahead stream."""
+
+    name: str
+    index: int
+    default_distance: int = 4
+
+
+@dataclass(frozen=True)
+class RangeConfig:
+    """One filter-table entry: an address range plus its event kernels."""
+
+    name: str
+    base: int
+    end: int
+    load_kernel: Optional[str] = None
+    prefetch_kernel: Optional[str] = None
+    stream: Optional[str] = None
+    #: Record the time between successive demand loads in this range
+    #: (the iteration-time EWMA input).
+    time_iterations: bool = False
+    #: Attach the observation time to events generated from this range
+    #: (the start of a timed prefetch chain).
+    chain_start: bool = False
+    #: A prefetch completing in this range ends the timed chain
+    #: (the chain-latency EWMA input).
+    chain_end: bool = False
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def validate(self) -> None:
+        if self.end <= self.base:
+            raise ConfigurationError(
+                f"range {self.name!r}: end ({self.end:#x}) must be above base ({self.base:#x})"
+            )
+
+
+@dataclass(frozen=True)
+class TagConfig:
+    """A memory-request tag for linked structures (Section 4.7)."""
+
+    tag: int
+    name: str
+    kernel: str
+    stream: Optional[str] = None
+    chain_end: bool = False
+
+
+class PrefetcherConfiguration:
+    """Everything the main program configures before a prefetched loop."""
+
+    def __init__(self) -> None:
+        self._kernels: dict[str, KernelProgram] = {}
+        self._ranges: list[RangeConfig] = []
+        self._tags: dict[int, TagConfig] = {}
+        self._tag_names: dict[str, int] = {}
+        self._globals: dict[str, int] = {}
+        self._global_values: list[int] = []
+        self._streams: dict[str, StreamConfig] = {}
+
+    # ----------------------------------------------------------------- kernels
+
+    def add_kernel(self, program: KernelProgram) -> None:
+        program.validate()
+        if program.name in self._kernels:
+            raise ConfigurationError(f"kernel {program.name!r} registered twice")
+        self._kernels[program.name] = program
+
+    def kernel(self, name: str) -> KernelProgram:
+        if name not in self._kernels:
+            raise ConfigurationError(f"kernel {name!r} is not registered")
+        return self._kernels[name]
+
+    @property
+    def kernels(self) -> dict[str, KernelProgram]:
+        return dict(self._kernels)
+
+    # ----------------------------------------------------------------- globals
+
+    def set_global(self, name: str, value: int) -> int:
+        """Configure a global prefetcher register; returns its index."""
+
+        if name in self._globals:
+            index = self._globals[name]
+            self._global_values[index] = int(value)
+            return index
+        index = len(self._global_values)
+        self._globals[name] = index
+        self._global_values.append(int(value))
+        return index
+
+    def global_index(self, name: str) -> int:
+        if name not in self._globals:
+            raise ConfigurationError(f"global {name!r} was never configured")
+        return self._globals[name]
+
+    def global_values(self) -> list[int]:
+        return list(self._global_values)
+
+    @property
+    def global_names(self) -> dict[str, int]:
+        return dict(self._globals)
+
+    # ----------------------------------------------------------------- streams
+
+    def add_stream(self, name: str, default_distance: int = 4) -> int:
+        """Register an EWMA look-ahead stream; returns its index."""
+
+        if name in self._streams:
+            return self._streams[name].index
+        index = len(self._streams)
+        self._streams[name] = StreamConfig(name=name, index=index, default_distance=default_distance)
+        return index
+
+    def stream_index(self, name: str) -> int:
+        if name not in self._streams:
+            raise ConfigurationError(f"stream {name!r} was never configured")
+        return self._streams[name].index
+
+    @property
+    def streams(self) -> dict[str, StreamConfig]:
+        return dict(self._streams)
+
+    # ------------------------------------------------------------------ ranges
+
+    def add_range(
+        self,
+        name: str,
+        base: int,
+        end: int,
+        *,
+        load_kernel: Optional[str] = None,
+        prefetch_kernel: Optional[str] = None,
+        stream: Optional[str] = None,
+        time_iterations: bool = False,
+        chain_start: bool = False,
+        chain_end: bool = False,
+    ) -> RangeConfig:
+        """Add a filter-table entry for ``[base, end)``."""
+
+        entry = RangeConfig(
+            name=name,
+            base=base,
+            end=end,
+            load_kernel=load_kernel,
+            prefetch_kernel=prefetch_kernel,
+            stream=stream,
+            time_iterations=time_iterations,
+            chain_start=chain_start,
+            chain_end=chain_end,
+        )
+        entry.validate()
+        self._ranges.append(entry)
+        return entry
+
+    @property
+    def ranges(self) -> list[RangeConfig]:
+        return list(self._ranges)
+
+    # -------------------------------------------------------------------- tags
+
+    def add_tag(
+        self,
+        name: str,
+        kernel: str,
+        *,
+        stream: Optional[str] = None,
+        chain_end: bool = False,
+    ) -> int:
+        """Register a memory-request tag; returns the integer tag value."""
+
+        if name in self._tag_names:
+            return self._tag_names[name]
+        tag = len(self._tags)
+        config = TagConfig(tag=tag, name=name, kernel=kernel, stream=stream, chain_end=chain_end)
+        self._tags[tag] = config
+        self._tag_names[name] = tag
+        return tag
+
+    def tag(self, tag: int) -> Optional[TagConfig]:
+        return self._tags.get(tag)
+
+    def tag_by_name(self, name: str) -> int:
+        if name not in self._tag_names:
+            raise ConfigurationError(f"tag {name!r} was never configured")
+        return self._tag_names[name]
+
+    @property
+    def tags(self) -> dict[int, TagConfig]:
+        return dict(self._tags)
+
+    # -------------------------------------------------------------- validation
+
+    def validate(self) -> None:
+        """Check that every referenced kernel and stream exists."""
+
+        referenced: list[tuple[str, Optional[str]]] = []
+        for entry in self._ranges:
+            entry.validate()
+            referenced.append((f"range {entry.name!r} load kernel", entry.load_kernel))
+            referenced.append((f"range {entry.name!r} prefetch kernel", entry.prefetch_kernel))
+            if entry.stream is not None and entry.stream not in self._streams:
+                raise ConfigurationError(
+                    f"range {entry.name!r} references unknown stream {entry.stream!r}"
+                )
+        for config in self._tags.values():
+            referenced.append((f"tag {config.name!r} kernel", config.kernel))
+            if config.stream is not None and config.stream not in self._streams:
+                raise ConfigurationError(
+                    f"tag {config.name!r} references unknown stream {config.stream!r}"
+                )
+        for what, kernel_name in referenced:
+            if kernel_name is not None and kernel_name not in self._kernels:
+                raise ConfigurationError(f"{what} references unknown kernel {kernel_name!r}")
+
+    # ------------------------------------------------------------- accounting
+
+    def config_instruction_count(self) -> int:
+        """Number of configuration instructions executed by the main core.
+
+        Each address range takes two instructions (base and bound), each
+        global register, tag and stream one; kernels are loaded out of band
+        (their code is fetched by the PPUs' instruction cache).  Workloads add
+        this as compute overhead before the prefetched loop so the (small)
+        cost of configuration is represented in the main-core trace.
+        """
+
+        return 2 * len(self._ranges) + len(self._global_values) + len(self._tags) + len(self._streams)
+
+    def code_footprint_bytes(self) -> int:
+        """Total kernel code size (the shared PPU instruction-cache footprint)."""
+
+        return sum(program.size_bytes for program in self._kernels.values())

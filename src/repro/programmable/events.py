@@ -1,0 +1,50 @@
+"""Event records flowing through the programmable prefetcher.
+
+An :class:`Observation` is what the address filter emits into the observation
+queue: the triggering address, the kernel to run, whether it came from a
+snooped demand load or from a returned prefetch, and — for prefetch
+observations — the forwarded cache line.  ``chain_start_time`` carries the
+timestamp attached at the start of a timed prefetch chain (Section 4.5) so
+the chain-latency EWMA can be updated when the chain reaches a range flagged
+as its end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence
+
+
+class ObservationKind(Enum):
+    """What produced the observation."""
+
+    LOAD = "load"
+    PREFETCH = "prefetch"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One entry in the observation queue."""
+
+    kind: ObservationKind
+    addr: int
+    time: float
+    kernel_name: str
+    line_base: int
+    line_words: Optional[tuple[int, ...]] = None
+    #: EWMA stream whose look-ahead this event's kernel should consult, if any.
+    stream: Optional[str] = None
+    #: Timestamp attached at the start of a timed prefetch chain.
+    chain_start_time: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class PrefetchRequest:
+    """One entry in the prefetch request queue."""
+
+    addr: int
+    tag: int
+    issue_time: float
+    stream: Optional[str] = None
+    chain_start_time: Optional[float] = None

@@ -1,0 +1,79 @@
+"""Address filter and filter table (Section 4.2).
+
+The filter snoops every demand load from the main core and every prefetch
+fill arriving at the L1, and matches the address against the configured
+virtual-address ranges.  Matching observations are forwarded to the
+observation queue together with the registered kernel entry point (``Load
+Ptr`` for demand loads, ``PF Ptr`` for completed prefetches).  Ranges may
+overlap; an address inside several ranges produces one observation per range,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .config_api import PrefetcherConfiguration, RangeConfig
+
+
+@dataclass
+class FilterStats:
+    load_snoops: int = 0
+    load_matches: int = 0
+    prefetch_matches: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "load_snoops": self.load_snoops,
+            "load_matches": self.load_matches,
+            "prefetch_matches": self.prefetch_matches,
+        }
+
+
+class AddressFilter:
+    """Matches addresses against the configured filter-table ranges."""
+
+    def __init__(self, configuration: PrefetcherConfiguration, max_entries: int) -> None:
+        ranges = configuration.ranges
+        if len(ranges) > max_entries:
+            raise ConfigurationError(
+                f"configuration declares {len(ranges)} address ranges, but the filter "
+                f"table only has {max_entries} entries"
+            )
+        self._ranges = ranges
+        self.stats = FilterStats()
+
+    @property
+    def ranges(self) -> list[RangeConfig]:
+        return list(self._ranges)
+
+    def match_load(self, addr: int) -> list[RangeConfig]:
+        """Return every range whose load events should fire for ``addr``.
+
+        Ranges that only participate in EWMA timing (``time_iterations`` but
+        no kernel) are included so the engine can record the iteration time.
+        """
+
+        self.stats.load_snoops += 1
+        matches = [
+            entry
+            for entry in self._ranges
+            if entry.contains(addr) and (entry.load_kernel is not None or entry.time_iterations)
+        ]
+        if matches:
+            self.stats.load_matches += 1
+        return matches
+
+    def match_prefetch(self, addr: int) -> list[RangeConfig]:
+        """Return every range whose prefetch-completion events should fire for ``addr``."""
+
+        matches = [
+            entry
+            for entry in self._ranges
+            if entry.contains(addr)
+            and (entry.prefetch_kernel is not None or entry.chain_end or entry.chain_start)
+        ]
+        if matches:
+            self.stats.prefetch_matches += 1
+        return matches

@@ -1,0 +1,174 @@
+"""Functional + timing interpreter for PPU kernels.
+
+The interpreter serves two purposes at once:
+
+* *functional*: it computes the prefetch addresses a kernel generates from the
+  observation it was handed (triggering address, forwarded cache line, global
+  registers, EWMA look-ahead), so the simulation actually chases real indices
+  and pointers; and
+* *timing*: it counts the dynamic instructions executed, which the PPU model
+  converts into busy time at the configured PPU clock.
+
+Faults (unmapped line word, register overflow, runaway loops) terminate the
+event silently, exactly as the paper specifies for traps on the PPUs
+(Section 5.1).  The caller receives ``aborted=True`` and no prefetches beyond
+those already generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..config import WORD_BYTES
+from ..errors import KernelRuntimeError
+from .kernel import NUM_LOCAL_REGISTERS, Instruction, KernelProgram, Opcode, Operand
+
+#: Hard bound on dynamically executed instructions per event.  Prefetch
+#: kernels are "typically only a few lines of code" (Section 4.4); the bound
+#: exists to terminate buggy kernels the way a watchdog would.
+MAX_DYNAMIC_INSTRUCTIONS = 4096
+
+_WORDS_PER_LINE = 8
+_U64 = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+
+def _to_signed(value: int) -> int:
+    value &= _U64
+    return value - (1 << 64) if value & _SIGN_BIT else value
+
+
+@dataclass(frozen=True)
+class KernelContext:
+    """Everything a kernel can read while it runs."""
+
+    vaddr: int
+    line_base: int
+    line_words: Optional[Sequence[int]]
+    global_registers: Sequence[int]
+    lookahead: Callable[[int], int] = lambda stream: 1
+
+    def data_word(self) -> int:
+        """The word at the triggering address within the forwarded line."""
+
+        if self.line_words is None:
+            raise KernelRuntimeError("no cache line was forwarded with this event")
+        offset = (self.vaddr - self.line_base) // WORD_BYTES
+        if not 0 <= offset < _WORDS_PER_LINE:
+            raise KernelRuntimeError("triggering address lies outside the forwarded line")
+        return self.line_words[offset]
+
+    def word(self, index: int) -> int:
+        if self.line_words is None:
+            raise KernelRuntimeError("no cache line was forwarded with this event")
+        if not 0 <= index < _WORDS_PER_LINE:
+            raise KernelRuntimeError(f"line word index {index} out of range")
+        return self.line_words[index]
+
+
+@dataclass
+class KernelExecutionResult:
+    """Outcome of running one kernel for one observation."""
+
+    prefetches: list[tuple[int, int]] = field(default_factory=list)
+    instructions_executed: int = 0
+    aborted: bool = False
+
+    @property
+    def prefetch_addresses(self) -> list[int]:
+        return [addr for addr, _tag in self.prefetches]
+
+
+def _read(operand: Operand, registers: list[int]) -> int:
+    if operand.is_immediate:
+        return operand.value
+    return registers[operand.value]
+
+
+def execute_kernel(program: KernelProgram, context: KernelContext) -> KernelExecutionResult:
+    """Run ``program`` against ``context`` and return its prefetches and cost."""
+
+    registers = [0] * NUM_LOCAL_REGISTERS
+    result = KernelExecutionResult()
+    pc = 0
+    instructions: tuple[Instruction, ...] = program.instructions
+
+    try:
+        while pc < len(instructions):
+            if result.instructions_executed >= MAX_DYNAMIC_INSTRUCTIONS:
+                raise KernelRuntimeError(
+                    f"kernel {program.name!r} exceeded {MAX_DYNAMIC_INSTRUCTIONS} instructions"
+                )
+            instruction = instructions[pc]
+            result.instructions_executed += 1
+            opcode = instruction.opcode
+
+            if opcode == Opcode.HALT:
+                break
+
+            if opcode == Opcode.PREFETCH:
+                addr = _read(instruction.a, registers) & _U64
+                tag = instruction.b.value if instruction.b.is_immediate else registers[instruction.b.value]
+                result.prefetches.append((addr, tag))
+                pc += 1
+                continue
+
+            if opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.JUMP):
+                taken = True
+                if opcode != Opcode.JUMP:
+                    a = _to_signed(_read(instruction.a, registers))
+                    b = _to_signed(_read(instruction.b, registers))
+                    if opcode == Opcode.BEQ:
+                        taken = a == b
+                    elif opcode == Opcode.BNE:
+                        taken = a != b
+                    elif opcode == Opcode.BLT:
+                        taken = a < b
+                    else:  # BGE
+                        taken = a >= b
+                pc = instruction.target if taken else pc + 1
+                continue
+
+            # Register-writing instructions.
+            a = _read(instruction.a, registers)
+            b = _read(instruction.b, registers)
+            if opcode == Opcode.LI or opcode == Opcode.MOV:
+                value = a
+            elif opcode == Opcode.ADD:
+                value = a + b
+            elif opcode == Opcode.SUB:
+                value = a - b
+            elif opcode == Opcode.MUL:
+                value = a * b
+            elif opcode == Opcode.AND:
+                value = a & b
+            elif opcode == Opcode.OR:
+                value = a | b
+            elif opcode == Opcode.XOR:
+                value = a ^ b
+            elif opcode == Opcode.SHL:
+                value = a << (b & 63)
+            elif opcode == Opcode.SHR:
+                value = (a & _U64) >> (b & 63)
+            elif opcode == Opcode.GET_VADDR:
+                value = context.vaddr
+            elif opcode == Opcode.GET_DATA:
+                value = context.data_word()
+            elif opcode == Opcode.LINE_WORD:
+                value = context.word(a)
+            elif opcode == Opcode.GET_GLOBAL:
+                if not 0 <= a < len(context.global_registers):
+                    raise KernelRuntimeError(f"global register {a} out of range")
+                value = context.global_registers[a]
+            elif opcode == Opcode.GET_LOOKAHEAD:
+                value = int(context.lookahead(a))
+            else:  # pragma: no cover - exhaustive over the ISA
+                raise KernelRuntimeError(f"unknown opcode {opcode!r}")
+
+            registers[instruction.dst] = value & _U64
+            pc += 1
+    except KernelRuntimeError:
+        result.aborted = True
+
+    return result

@@ -1,0 +1,451 @@
+"""The event-triggered programmable prefetcher engine.
+
+This module ties together every structure of Figure 3: the address filter
+snoops demand loads, observations queue up for the scheduler, free PPUs run
+kernels that generate prefetch requests, the request queue drains into the L1
+when MSHRs are free, and returned prefetches trigger further events (via the
+memory-request tags of Section 4.7 or the filter table's ``PF Ptr`` entries).
+EWMA calculators (Section 4.5) turn observed iteration times and prefetch
+chain latencies into dynamic look-ahead distances that kernels can read.
+
+The engine is a discrete-event model sharing the simulation's global clock
+(main-core cycles).  It is driven lazily: the memory hierarchy calls
+:meth:`EventTriggeredPrefetcher.advance_to` with the current time before every
+demand access, so the prefetcher's state (including lines it has filled into
+the cache model) is up to date whenever the core looks.
+
+A *blocking* variant (``ProgrammablePrefetcherConfig.blocking_mode``) models
+the Figure 11 ablation: instead of scheduling a fresh event when a prefetch
+returns, the PPU that issued it stalls until the data arrives and continues
+the chain itself, exactly like a helper thread that must wait on intermediate
+loads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..config import SystemConfig
+from ..errors import ConfigurationError
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.layout import line_address
+from .config_api import PrefetcherConfiguration, RangeConfig, TagConfig
+from .ewma import LookaheadCalculator
+from .events import Observation, ObservationKind, PrefetchRequest
+from .filter import AddressFilter
+from .interpreter import KernelContext, execute_kernel
+from .ppu import EVENT_DISPATCH_OVERHEAD_PPU_CYCLES, PPU
+from .queues import ObservationQueue, PrefetchRequestQueue
+from .registers import GlobalRegisterFile
+from .scheduler import LowestFreeIdPolicy, SchedulingPolicy
+
+# Internal event kinds on the engine's heap.
+_EV_OBSERVATION = 0
+_EV_PPU_DONE = 1
+_EV_DRAIN = 2
+_EV_FILL = 3
+
+
+@dataclass
+class EngineStats:
+    """Aggregate statistics of one run of the programmable prefetcher."""
+
+    loads_snooped: int = 0
+    observations_created: int = 0
+    observations_dropped: int = 0
+    events_executed: int = 0
+    kernel_aborts: int = 0
+    ppu_instructions: int = 0
+    prefetches_generated: int = 0
+    prefetches_dropped: int = 0
+    prefetches_issued: int = 0
+    prefetches_discarded: int = 0
+    fills_observed: int = 0
+    activity_factors: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "loads_snooped": self.loads_snooped,
+            "observations_created": self.observations_created,
+            "observations_dropped": self.observations_dropped,
+            "events_executed": self.events_executed,
+            "kernel_aborts": self.kernel_aborts,
+            "ppu_instructions": self.ppu_instructions,
+            "prefetches_generated": self.prefetches_generated,
+            "prefetches_dropped": self.prefetches_dropped,
+            "prefetches_issued": self.prefetches_issued,
+            "prefetches_discarded": self.prefetches_discarded,
+            "fills_observed": self.fills_observed,
+            "activity_factors": list(self.activity_factors),
+        }
+
+
+class EventTriggeredPrefetcher:
+    """The paper's programmable prefetcher, attached to a memory hierarchy."""
+
+    name = "programmable"
+
+    def __init__(
+        self,
+        system_config: SystemConfig,
+        configuration: PrefetcherConfiguration,
+        *,
+        policy: Optional[SchedulingPolicy] = None,
+    ) -> None:
+        configuration.validate()
+        self.system_config = system_config
+        self.config = system_config.prefetcher
+        self.configuration = configuration
+        self.cycle_ratio = system_config.ppu_cycle_ratio
+        self.blocking = self.config.blocking_mode
+
+        self.filter = AddressFilter(configuration, self.config.filter_table_entries)
+        self.observation_queue = ObservationQueue(self.config.observation_queue_entries)
+        self.request_queue = PrefetchRequestQueue(self.config.prefetch_queue_entries)
+        self.ppus = [PPU(index) for index in range(self.config.num_ppus)]
+        self.policy = policy if policy is not None else LowestFreeIdPolicy()
+
+        self.globals = GlobalRegisterFile(self.config.global_registers)
+        for name, index in sorted(configuration.global_names.items(), key=lambda item: item[1]):
+            assigned = self.globals.define(name, configuration.global_values()[index])
+            if assigned != index:
+                raise ConfigurationError(
+                    f"global register {name!r} assigned index {assigned}, expected {index}"
+                )
+
+        self._streams = configuration.streams
+        self._lookaheads: dict[str, LookaheadCalculator] = {
+            name: LookaheadCalculator(
+                alpha=self.config.ewma_alpha, default_distance=stream.default_distance
+            )
+            for name, stream in self._streams.items()
+        }
+        self._stream_by_index = {stream.index: name for name, stream in self._streams.items()}
+
+        self.stats = EngineStats()
+        self._hierarchy: Optional[MemoryHierarchy] = None
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._sequence = 0
+
+    # ------------------------------------------------------------- attachment
+
+    def attach(self, hierarchy: MemoryHierarchy) -> None:
+        """Attach to ``hierarchy``: snoop demand loads and advance with the clock."""
+
+        self._hierarchy = hierarchy
+        hierarchy.set_demand_snoop(self._on_snoop)
+        hierarchy.set_advance_hook(self.advance_to)
+
+    def detach(self) -> None:
+        if self._hierarchy is not None:
+            self._hierarchy.set_demand_snoop(None)
+            self._hierarchy.set_advance_hook(None)
+            self._hierarchy = None
+
+    # ------------------------------------------------------------------ snoop
+
+    def _on_snoop(self, addr: int, time: float, level: str) -> None:
+        del level  # The address filter watches every demand load.
+        self.stats.loads_snooped += 1
+        matches = self.filter.match_load(addr)
+        if not matches:
+            return
+        hierarchy = self._hierarchy
+        assert hierarchy is not None
+        for entry in matches:
+            if entry.time_iterations and entry.stream is not None:
+                self._lookahead_for(entry.stream).observe_iteration(time)
+            if entry.load_kernel is None:
+                continue
+            observation = Observation(
+                kind=ObservationKind.LOAD,
+                addr=addr,
+                time=time,
+                kernel_name=entry.load_kernel,
+                line_base=line_address(addr),
+                line_words=tuple(hierarchy.read_line(addr)),
+                stream=entry.stream,
+                chain_start_time=time if entry.chain_start else None,
+            )
+            self.stats.observations_created += 1
+            self._push(time, _EV_OBSERVATION, observation)
+
+    # ------------------------------------------------------------------ clock
+
+    def _push(self, time: float, kind: int, payload: object) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (time, self._sequence, kind, payload))
+
+    def advance_to(self, time: float) -> None:
+        """Process every internal event scheduled at or before ``time``."""
+
+        heap = self._heap
+        while heap and heap[0][0] <= time:
+            event_time, _seq, kind, payload = heapq.heappop(heap)
+            if kind == _EV_OBSERVATION:
+                self._handle_observation(event_time, payload)  # type: ignore[arg-type]
+            elif kind == _EV_PPU_DONE:
+                self._handle_ppu_done(event_time, payload)  # type: ignore[arg-type]
+            elif kind == _EV_DRAIN:
+                self._handle_drain(event_time)
+            else:
+                self._handle_fill(event_time, payload)  # type: ignore[arg-type]
+
+    def drain(self, until: float) -> None:
+        """Run the engine past the end of the core trace (end-of-run cleanup)."""
+
+        self.advance_to(until)
+
+    # ------------------------------------------------------------ observation
+
+    def _handle_observation(self, time: float, observation: Observation) -> None:
+        before = self.observation_queue.dropped
+        self.observation_queue.push(observation)
+        self.stats.observations_dropped += self.observation_queue.dropped - before
+        self._dispatch(time)
+
+    def _dispatch(self, time: float) -> None:
+        while len(self.observation_queue):
+            ppu = self.policy.select(self.ppus, time)
+            if ppu is None:
+                return
+            observation = self.observation_queue.pop()
+            assert observation is not None
+            if self.blocking:
+                self._run_blocking(ppu, observation, time)
+            else:
+                self._run_event(ppu, observation, time)
+
+    def _context_for(self, observation: Observation) -> KernelContext:
+        return KernelContext(
+            vaddr=observation.addr,
+            line_base=observation.line_base,
+            line_words=observation.line_words,
+            global_registers=self.globals.snapshot(),
+            lookahead=self._lookahead_by_index,
+        )
+
+    def _run_event(self, ppu: PPU, observation: Observation, start: float) -> None:
+        program = self.configuration.kernel(observation.kernel_name)
+        result = execute_kernel(program, self._context_for(observation))
+        self.stats.events_executed += 1
+        self.stats.ppu_instructions += result.instructions_executed
+        if result.aborted:
+            self.stats.kernel_aborts += 1
+            ppu.stats.kernel_aborts += 1
+        finish = ppu.assign(start, result.instructions_executed, self.cycle_ratio)
+        ppu.stats.prefetches_generated += len(result.prefetches)
+        self.stats.prefetches_generated += len(result.prefetches)
+        self._push(finish, _EV_PPU_DONE, (result.prefetches, observation))
+
+    # ---------------------------------------------------------------- PPU done
+
+    def _handle_ppu_done(self, time: float, payload: object) -> None:
+        prefetches, observation = payload  # type: ignore[misc]
+        before = self.request_queue.dropped
+        for addr, tag in prefetches:
+            request = PrefetchRequest(
+                addr=addr,
+                tag=tag,
+                issue_time=time,
+                stream=observation.stream,
+                chain_start_time=observation.chain_start_time,
+            )
+            self.request_queue.push(request)
+        self.stats.prefetches_dropped += self.request_queue.dropped - before
+        if len(self.request_queue):
+            self._push(time, _EV_DRAIN, None)
+        # The PPU that finished is free again; waiting observations can run.
+        self._dispatch(time)
+
+    # ------------------------------------------------------------------ drain
+
+    def _handle_drain(self, time: float) -> None:
+        hierarchy = self._hierarchy
+        assert hierarchy is not None
+        while len(self.request_queue):
+            free_at = hierarchy.l1_mshr_next_free(time)
+            if free_at > time:
+                self._push(free_at, _EV_DRAIN, None)
+                return
+            request = self.request_queue.pop()
+            assert request is not None
+            self._issue(request, time)
+
+    def _issue(self, request: PrefetchRequest, time: float) -> None:
+        hierarchy = self._hierarchy
+        assert hierarchy is not None
+        self.stats.prefetches_issued += 1
+        fill_time = hierarchy.prefetch_access(request.addr, time)
+        if fill_time is None:
+            self.stats.prefetches_discarded += 1
+            return
+        if self._fill_is_interesting(request):
+            self._push(fill_time, _EV_FILL, request)
+
+    def _fill_is_interesting(self, request: PrefetchRequest) -> bool:
+        if request.tag >= 0 and self.configuration.tag(request.tag) is not None:
+            return True
+        if self.filter.match_prefetch(request.addr):
+            return True
+        return request.chain_start_time is not None
+
+    # ------------------------------------------------------------------- fill
+
+    def _handle_fill(self, time: float, request: PrefetchRequest) -> None:
+        self.stats.fills_observed += 1
+        for observation in self._fill_observations(request, time):
+            self.stats.observations_created += 1
+            self._handle_observation(time, observation)
+
+    def _fill_observations(self, request: PrefetchRequest, time: float) -> list[Observation]:
+        """Apply EWMA chain updates and build the follow-on observations for a fill."""
+
+        hierarchy = self._hierarchy
+        assert hierarchy is not None
+        observations: list[Observation] = []
+        line_words = tuple(hierarchy.read_line(request.addr))
+        line_base = line_address(request.addr)
+
+        tag_config: Optional[TagConfig] = (
+            self.configuration.tag(request.tag) if request.tag >= 0 else None
+        )
+        if tag_config is not None:
+            stream = tag_config.stream or request.stream
+            chain = request.chain_start_time
+            if tag_config.chain_end and chain is not None and stream is not None:
+                self._lookahead_for(stream).observe_chain(chain, time)
+                chain = None
+            observations.append(
+                Observation(
+                    kind=ObservationKind.PREFETCH,
+                    addr=request.addr,
+                    time=time,
+                    kernel_name=tag_config.kernel,
+                    line_base=line_base,
+                    line_words=line_words,
+                    stream=stream,
+                    chain_start_time=chain,
+                )
+            )
+
+        for entry in self.filter.match_prefetch(request.addr):
+            stream = entry.stream or request.stream
+            chain = request.chain_start_time
+            if entry.chain_end and chain is not None and stream is not None:
+                self._lookahead_for(stream).observe_chain(chain, time)
+                chain = None
+            if entry.chain_start:
+                chain = time
+            if entry.prefetch_kernel is None:
+                continue
+            observations.append(
+                Observation(
+                    kind=ObservationKind.PREFETCH,
+                    addr=request.addr,
+                    time=time,
+                    kernel_name=entry.prefetch_kernel,
+                    line_base=line_base,
+                    line_words=line_words,
+                    stream=stream,
+                    chain_start_time=chain,
+                )
+            )
+        return observations
+
+    # --------------------------------------------------------------- blocking
+
+    def _run_blocking(self, ppu: PPU, observation: Observation, start: float) -> None:
+        """Figure 11 ablation: the PPU stalls on every intermediate load."""
+
+        hierarchy = self._hierarchy
+        assert hierarchy is not None
+        time = start
+        instructions = 0
+        pending: list[Observation] = [observation]
+        events = 0
+
+        while pending:
+            current = pending.pop(0)
+            program = self.configuration.kernel(current.kernel_name)
+            result = execute_kernel(program, self._context_for(current))
+            events += 1
+            instructions += result.instructions_executed
+            if result.aborted:
+                self.stats.kernel_aborts += 1
+                ppu.stats.kernel_aborts += 1
+            time += (
+                result.instructions_executed + EVENT_DISPATCH_OVERHEAD_PPU_CYCLES
+            ) * self.cycle_ratio
+            self.stats.prefetches_generated += len(result.prefetches)
+            ppu.stats.prefetches_generated += len(result.prefetches)
+
+            for addr, tag in result.prefetches:
+                self.stats.prefetches_issued += 1
+                fill_time = hierarchy.prefetch_access(addr, time)
+                if fill_time is None:
+                    self.stats.prefetches_discarded += 1
+                    continue
+                request = PrefetchRequest(
+                    addr=addr,
+                    tag=tag,
+                    issue_time=time,
+                    stream=current.stream,
+                    chain_start_time=current.chain_start_time,
+                )
+                if not self._fill_is_interesting(request):
+                    continue
+                # Blocking: wait for the data before running the next kernel.
+                time = max(time, fill_time)
+                pending.extend(self._fill_observations(request, fill_time))
+                self.stats.fills_observed += 1
+
+        self.stats.events_executed += events
+        self.stats.ppu_instructions += instructions
+        ppu.stats.events_executed += events
+        ppu.stats.instructions_executed += instructions
+        ppu.stats.busy_cycles += time - start
+        ppu.busy_until = time
+
+    # ------------------------------------------------------------------ EWMAs
+
+    def _lookahead_for(self, stream: str) -> LookaheadCalculator:
+        calculator = self._lookaheads.get(stream)
+        if calculator is None:
+            raise ConfigurationError(f"stream {stream!r} was never configured")
+        return calculator
+
+    def _lookahead_by_index(self, index: int) -> int:
+        name = self._stream_by_index.get(index)
+        if name is None:
+            return LookaheadCalculator().default_distance
+        return self._lookaheads[name].lookahead()
+
+    def lookahead_distance(self, stream: str) -> int:
+        """Current look-ahead distance for ``stream`` (exposed for analysis/tests)."""
+
+        return self._lookahead_for(stream).lookahead()
+
+    # -------------------------------------------------------------- finalising
+
+    def finalize(self, end_time: float) -> None:
+        """Process trailing events and compute per-PPU activity factors."""
+
+        self.drain(end_time + 1.0)
+        self.stats.activity_factors = [
+            ppu.activity_factor(end_time) for ppu in self.ppus
+        ]
+
+    def collect_stats(self) -> dict[str, object]:
+        stats = self.stats.as_dict()
+        stats["observation_queue_dropped"] = self.observation_queue.dropped
+        stats["request_queue_dropped"] = self.request_queue.dropped
+        stats["filter"] = self.filter.stats.as_dict()
+        stats["per_ppu"] = [ppu.stats.as_dict() for ppu in self.ppus]
+        stats["kernel_code_bytes"] = self.configuration.code_footprint_bytes()
+        stats["lookahead"] = {
+            name: calculator.lookahead() for name, calculator in self._lookaheads.items()
+        }
+        return stats

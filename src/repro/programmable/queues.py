@@ -1,0 +1,66 @@
+"""Observation queue and prefetch request queue (Sections 4.3 and 4.6).
+
+Both are bounded FIFOs.  Because prefetching is only a performance hint,
+overflowing entries are dropped rather than exerting back-pressure on the
+core or the PPUs; the paper drops the *oldest* entries ("old observations can
+be safely dropped with no impact on correctness"), and so do these queues.
+Drop counts are recorded so experiments can report how often each queue was
+the bottleneck.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Optional, TypeVar
+
+from ..errors import ConfigurationError
+from .events import Observation, PrefetchRequest
+
+T = TypeVar("T")
+
+
+class _DroppableFIFO(Generic[T]):
+    """A bounded FIFO that drops its oldest entry when full."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("queue capacity must be at least 1")
+        self._capacity = capacity
+        self._entries: Deque[T] = deque()
+        self.pushed = 0
+        self.dropped = 0
+
+    def push(self, entry: T) -> None:
+        self.pushed += 1
+        if len(self._entries) >= self._capacity:
+            self._entries.popleft()
+            self.dropped += 1
+        self._entries.append(entry)
+
+    def pop(self) -> Optional[T]:
+        if not self._entries:
+            return None
+        return self._entries.popleft()
+
+    def peek(self) -> Optional[T]:
+        if not self._entries:
+            return None
+        return self._entries[0]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class ObservationQueue(_DroppableFIFO[Observation]):
+    """FIFO of filtered observations waiting for a free PPU."""
+
+
+class PrefetchRequestQueue(_DroppableFIFO[PrefetchRequest]):
+    """FIFO of generated prefetch addresses waiting for a free L1 MSHR."""

@@ -1,0 +1,70 @@
+"""Global prefetcher registers.
+
+The main program's configuration instructions write loop-invariant values
+(array base addresses, element sizes, hash masks, hash-table sizes, ...) into
+these registers before entering the loop; kernels read them with
+``GET_GLOBAL``.  Symbolic names are resolved to indices at configuration time
+so the kernels themselves only ever use small integer indices, as the hardware
+would.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+class GlobalRegisterFile:
+    """A fixed-size file of 64-bit global registers with symbolic naming."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ConfigurationError("global register file needs at least one register")
+        self._values = [0] * size
+        self._names: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -------------------------------------------------------------- symbolic
+
+    def define(self, name: str, value: int) -> int:
+        """Assign ``value`` to the next free register under ``name``; return its index."""
+
+        if name in self._names:
+            index = self._names[name]
+            self._values[index] = int(value)
+            return index
+        index = len(self._names)
+        if index >= len(self._values):
+            raise ConfigurationError(
+                f"out of global prefetcher registers (capacity {len(self._values)})"
+            )
+        self._names[name] = index
+        self._values[index] = int(value)
+        return index
+
+    def index_of(self, name: str) -> int:
+        if name not in self._names:
+            raise ConfigurationError(f"global register {name!r} was never configured")
+        return self._names[name]
+
+    # --------------------------------------------------------------- numeric
+
+    def read(self, index: int) -> int:
+        if not 0 <= index < len(self._values):
+            raise ConfigurationError(f"global register index {index} out of range")
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        if not 0 <= index < len(self._values):
+            raise ConfigurationError(f"global register index {index} out of range")
+        self._values[index] = int(value)
+
+    def snapshot(self) -> list[int]:
+        """Return the raw register values (what a context switch must save)."""
+
+        return list(self._values)
+
+    @property
+    def names(self) -> dict[str, int]:
+        return dict(self._names)

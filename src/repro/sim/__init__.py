@@ -1,0 +1,18 @@
+"""Simulation driver: assemble a system, run a workload under a prefetch mode."""
+
+from .comparison import ComparisonResult, run_comparison
+from .modes import PrefetchMode, mode_available
+from .results import SimulationResult
+from .system import simulate
+from .sweeps import ppu_count_frequency_sweep, ppu_frequency_sweep
+
+__all__ = [
+    "PrefetchMode",
+    "mode_available",
+    "SimulationResult",
+    "simulate",
+    "run_comparison",
+    "ComparisonResult",
+    "ppu_frequency_sweep",
+    "ppu_count_frequency_sweep",
+]

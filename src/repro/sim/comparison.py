@@ -1,0 +1,87 @@
+"""Multi-workload, multi-mode comparison driver (the engine behind Figure 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..config import SystemConfig
+from ..workloads import WORKLOAD_ORDER, build_workload
+from ..workloads.base import Workload
+from .modes import FIGURE7_MODES, PrefetchMode, mode_available
+from .results import SimulationResult, geometric_mean
+from .system import simulate
+
+
+@dataclass
+class ComparisonResult:
+    """Baseline and per-mode results for a set of workloads."""
+
+    baselines: dict[str, SimulationResult] = field(default_factory=dict)
+    results: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
+
+    def add(self, result: SimulationResult) -> None:
+        if result.mode == PrefetchMode.NONE.value:
+            self.baselines[result.workload] = result
+        else:
+            self.results[(result.workload, result.mode)] = result
+
+    # ----------------------------------------------------------------- views
+
+    def result(self, workload: str, mode: PrefetchMode) -> Optional[SimulationResult]:
+        if mode == PrefetchMode.NONE:
+            return self.baselines.get(workload)
+        return self.results.get((workload, mode.value))
+
+    def speedup(self, workload: str, mode: PrefetchMode) -> Optional[float]:
+        baseline = self.baselines.get(workload)
+        result = self.result(workload, mode)
+        if baseline is None or result is None:
+            return None
+        return result.speedup_over(baseline)
+
+    def speedups_for_mode(self, mode: PrefetchMode) -> dict[str, float]:
+        speedups: dict[str, float] = {}
+        for workload in self.baselines:
+            value = self.speedup(workload, mode)
+            if value is not None:
+                speedups[workload] = value
+        return speedups
+
+    def geomean_speedup(self, mode: PrefetchMode) -> float:
+        return geometric_mean(list(self.speedups_for_mode(mode).values()))
+
+    @property
+    def workloads(self) -> list[str]:
+        return list(self.baselines)
+
+
+def run_comparison(
+    workload_names: Optional[Iterable[str]] = None,
+    modes: Optional[Iterable[PrefetchMode]] = None,
+    *,
+    config: Optional[SystemConfig] = None,
+    scale: str = "default",
+    seed: int = 42,
+    workloads: Optional[dict[str, Workload]] = None,
+) -> ComparisonResult:
+    """Simulate every (workload, mode) pair plus the no-prefetching baseline.
+
+    ``workloads`` can pass pre-built workload objects (so their traces are
+    reused across calls); otherwise they are built from ``workload_names``.
+    Unavailable modes (missing Figure 7 bars) are skipped silently.
+    """
+
+    names = list(workload_names) if workload_names is not None else list(WORKLOAD_ORDER)
+    mode_list = list(modes) if modes is not None else list(FIGURE7_MODES)
+    system_config = config if config is not None else SystemConfig.scaled()
+
+    comparison = ComparisonResult()
+    for name in names:
+        workload = (workloads or {}).get(name) or build_workload(name, scale=scale, seed=seed)
+        comparison.add(simulate(workload, PrefetchMode.NONE, system_config))
+        for mode in mode_list:
+            if mode == PrefetchMode.NONE or not mode_available(workload, mode):
+                continue
+            comparison.add(simulate(workload, mode, system_config))
+    return comparison

@@ -1,0 +1,80 @@
+"""Prefetch modes — the bars of Figure 7 plus the Figure 11 ablation."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..workloads.base import Workload
+
+
+class PrefetchMode(Enum):
+    """Every prefetching configuration the evaluation compares."""
+
+    NONE = "none"
+    STRIDE = "stride"
+    GHB_REGULAR = "ghb-regular"
+    GHB_LARGE = "ghb-large"
+    SOFTWARE = "software"
+    PRAGMA = "pragma"
+    CONVERTED = "converted"
+    MANUAL = "manual"
+    #: The Figure 11 ablation: programmable prefetching with PPUs that block
+    #: on intermediate loads instead of raising events.
+    MANUAL_BLOCKED = "manual-blocked"
+
+    @property
+    def uses_programmable_prefetcher(self) -> bool:
+        return self in (
+            PrefetchMode.PRAGMA,
+            PrefetchMode.CONVERTED,
+            PrefetchMode.MANUAL,
+            PrefetchMode.MANUAL_BLOCKED,
+        )
+
+    @property
+    def label(self) -> str:
+        """Label used in the figure legends (matches the paper's wording)."""
+
+        return {
+            PrefetchMode.NONE: "No prefetching",
+            PrefetchMode.STRIDE: "Stride",
+            PrefetchMode.GHB_REGULAR: "GHB (regular)",
+            PrefetchMode.GHB_LARGE: "GHB (large)",
+            PrefetchMode.SOFTWARE: "Software",
+            PrefetchMode.PRAGMA: "Pragma",
+            PrefetchMode.CONVERTED: "Converted",
+            PrefetchMode.MANUAL: "Manual",
+            PrefetchMode.MANUAL_BLOCKED: "Blocked",
+        }[self]
+
+
+#: The modes shown in Figure 7, in bar order.
+FIGURE7_MODES = [
+    PrefetchMode.STRIDE,
+    PrefetchMode.GHB_REGULAR,
+    PrefetchMode.GHB_LARGE,
+    PrefetchMode.SOFTWARE,
+    PrefetchMode.PRAGMA,
+    PrefetchMode.CONVERTED,
+    PrefetchMode.MANUAL,
+]
+
+
+def mode_available(workload: Workload, mode: PrefetchMode) -> bool:
+    """Whether ``mode`` can be built for ``workload``.
+
+    Mirrors the missing bars of Figure 7: software prefetching (and therefore
+    its conversion) is impossible for PageRank because the Boost iterators
+    never expose element addresses, and a compiler pass that produced no
+    events leaves nothing to run.
+    """
+
+    if mode == PrefetchMode.SOFTWARE:
+        return workload.supports_software_prefetch()
+    if mode == PrefetchMode.CONVERTED:
+        if not workload.supports_software_prefetch():
+            return False
+        return bool(workload.converted_configuration().kernels)
+    if mode == PrefetchMode.PRAGMA:
+        return bool(workload.pragma_configuration().kernels)
+    return True

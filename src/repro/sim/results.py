@@ -1,0 +1,91 @@
+"""Simulation results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..memory.stats import HierarchyStats
+
+
+@dataclass
+class SimulationResult:
+    """Everything recorded from one simulation run."""
+
+    workload: str
+    mode: str
+    cycles: float
+    instructions: int
+    core: dict[str, float] = field(default_factory=dict)
+    hierarchy: HierarchyStats = field(default_factory=HierarchyStats)
+    prefetcher: Optional[dict[str, Any]] = None
+
+    # ------------------------------------------------------------ derived
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_read_hit_rate(self) -> float:
+        return self.hierarchy.l1_read_hit_rate
+
+    @property
+    def l2_read_hit_rate(self) -> float:
+        return self.hierarchy.l2_read_hit_rate
+
+    @property
+    def l1_prefetch_utilisation(self) -> float:
+        return self.hierarchy.l1_prefetch_utilisation
+
+    @property
+    def dram_accesses(self) -> float:
+        return self.hierarchy.dram_total_accesses
+
+    @property
+    def activity_factors(self) -> list[float]:
+        if not self.prefetcher:
+            return []
+        return list(self.prefetcher.get("activity_factors", []))
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Speedup of this run relative to ``baseline`` (same workload)."""
+
+        if self.cycles == 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    def extra_memory_accesses(self, baseline: "SimulationResult") -> float:
+        """Fractional extra DRAM traffic relative to ``baseline``."""
+
+        if baseline.dram_accesses == 0:
+            return 0.0
+        return self.dram_accesses / baseline.dram_accesses - 1.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "mode": self.mode,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "l1_read_hit_rate": self.l1_read_hit_rate,
+            "l2_read_hit_rate": self.l2_read_hit_rate,
+            "l1_prefetch_utilisation": self.l1_prefetch_utilisation,
+            "dram_accesses": self.dram_accesses,
+            "core": dict(self.core),
+            "hierarchy": self.hierarchy.as_dict(),
+            "prefetcher": self.prefetcher,
+        }
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean, used for the paper's average speedups."""
+
+    filtered = [value for value in values if value > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for value in filtered:
+        product *= value
+    return product ** (1.0 / len(filtered))

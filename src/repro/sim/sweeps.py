@@ -1,0 +1,61 @@
+"""Parameter sweeps over the programmable prefetcher (Figure 9)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..config import SystemConfig
+from ..workloads.base import Workload
+from .modes import PrefetchMode
+from .results import SimulationResult
+from .system import simulate
+
+#: PPU clock frequencies (GHz) swept in Figure 9(a).
+FIGURE9A_FREQUENCIES = [0.25, 0.5, 1.0, 2.0]
+
+#: PPU counts and frequencies swept in Figure 9(b).
+FIGURE9B_COUNTS = [3, 6, 12]
+FIGURE9B_FREQUENCIES = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0]
+
+
+def ppu_frequency_sweep(
+    workload: Workload,
+    *,
+    frequencies: Optional[Iterable[float]] = None,
+    config: Optional[SystemConfig] = None,
+    baseline: Optional[SimulationResult] = None,
+) -> dict[float, float]:
+    """Speedup of manual programmable prefetching at each PPU clock."""
+
+    system_config = config if config is not None else SystemConfig.scaled()
+    reference = baseline if baseline is not None else simulate(
+        workload, PrefetchMode.NONE, system_config
+    )
+    sweep: dict[float, float] = {}
+    for frequency in frequencies if frequencies is not None else FIGURE9A_FREQUENCIES:
+        tuned = system_config.with_prefetcher(ppu_frequency_ghz=frequency)
+        result = simulate(workload, PrefetchMode.MANUAL, tuned)
+        sweep[frequency] = result.speedup_over(reference)
+    return sweep
+
+
+def ppu_count_frequency_sweep(
+    workload: Workload,
+    *,
+    counts: Optional[Iterable[int]] = None,
+    frequencies: Optional[Iterable[float]] = None,
+    config: Optional[SystemConfig] = None,
+) -> dict[tuple[int, float], float]:
+    """Speedup for every (PPU count, PPU clock) pair — Figure 9(b)."""
+
+    system_config = config if config is not None else SystemConfig.scaled()
+    reference = simulate(workload, PrefetchMode.NONE, system_config)
+    sweep: dict[tuple[int, float], float] = {}
+    for count in counts if counts is not None else FIGURE9B_COUNTS:
+        for frequency in frequencies if frequencies is not None else FIGURE9B_FREQUENCIES:
+            tuned = system_config.with_prefetcher(
+                num_ppus=count, ppu_frequency_ghz=frequency
+            )
+            result = simulate(workload, PrefetchMode.MANUAL, tuned)
+            sweep[(count, frequency)] = result.speedup_over(reference)
+    return sweep

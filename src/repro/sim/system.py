@@ -1,0 +1,86 @@
+"""Assemble and run one simulation: workload × prefetch mode × system config."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import GHBPrefetcherConfig, SystemConfig
+from ..cpu.core import OutOfOrderCore
+from ..errors import WorkloadError
+from ..memory.hierarchy import MemoryHierarchy
+from ..prefetch.ghb import GHBPrefetcher
+from ..prefetch.stride import StridePrefetcher
+from ..programmable.prefetcher import EventTriggeredPrefetcher
+from ..programmable.scheduler import SchedulingPolicy
+from ..workloads.base import Workload
+from .modes import PrefetchMode, mode_available
+from .results import SimulationResult
+
+
+def _programmable_configuration(workload: Workload, mode: PrefetchMode):
+    if mode in (PrefetchMode.MANUAL, PrefetchMode.MANUAL_BLOCKED):
+        return workload.manual_configuration()
+    if mode == PrefetchMode.CONVERTED:
+        return workload.converted_configuration()
+    if mode == PrefetchMode.PRAGMA:
+        return workload.pragma_configuration()
+    raise WorkloadError(f"mode {mode} does not use the programmable prefetcher")
+
+
+def simulate(
+    workload: Workload,
+    mode: PrefetchMode,
+    config: Optional[SystemConfig] = None,
+    *,
+    policy: Optional[SchedulingPolicy] = None,
+) -> SimulationResult:
+    """Run ``workload`` under ``mode`` and return the recorded result.
+
+    Raises :class:`~repro.errors.WorkloadError` when the mode cannot be built
+    for the workload (e.g. software prefetching for PageRank); callers that
+    want the Figure 7 behaviour of simply omitting the bar should check
+    :func:`~repro.sim.modes.mode_available` first.
+    """
+
+    system_config = config if config is not None else SystemConfig.scaled()
+    if not mode_available(workload, mode):
+        raise WorkloadError(f"{workload.name}: mode {mode.value!r} is not available")
+
+    workload.build()
+    hierarchy = MemoryHierarchy(system_config, workload.space)
+
+    engine: Optional[EventTriggeredPrefetcher] = None
+    trace_variant = "plain"
+
+    if mode == PrefetchMode.STRIDE:
+        StridePrefetcher(system_config.stride).attach(hierarchy)
+    elif mode == PrefetchMode.GHB_REGULAR:
+        GHBPrefetcher(GHBPrefetcherConfig.regular(), label="ghb-regular").attach(hierarchy)
+    elif mode == PrefetchMode.GHB_LARGE:
+        GHBPrefetcher(GHBPrefetcherConfig.large(), label="ghb-large").attach(hierarchy)
+    elif mode == PrefetchMode.SOFTWARE:
+        trace_variant = "software"
+    elif mode.uses_programmable_prefetcher:
+        if mode == PrefetchMode.MANUAL_BLOCKED:
+            system_config = system_config.with_prefetcher(blocking_mode=True)
+        configuration = _programmable_configuration(workload, mode)
+        engine = EventTriggeredPrefetcher(system_config, configuration, policy=policy)
+        engine.attach(hierarchy)
+
+    trace = workload.trace(trace_variant)
+    core = OutOfOrderCore(system_config.core, hierarchy)
+    core_stats = core.run(trace)
+
+    if engine is not None:
+        engine.finalize(core_stats.cycles)
+    hierarchy.finalize()
+
+    return SimulationResult(
+        workload=workload.name,
+        mode=mode.value,
+        cycles=core_stats.cycles,
+        instructions=core_stats.instructions,
+        core=core_stats.as_dict(),
+        hierarchy=hierarchy.collect_stats(),
+        prefetcher=engine.collect_stats() if engine is not None else None,
+    )

@@ -1,0 +1,85 @@
+"""The eight evaluation workloads (Table 2 of the paper).
+
+Each workload re-implements the memory behaviour of its benchmark over the
+simulated address space: it builds the data structures, emits the dynamic
+trace the main core executes (with data dependences), and provides the
+prefetcher programming for every mode the paper evaluates — hand-written PPU
+kernels (*manual*), the loop IR plus software prefetches that the conversion
+pass consumes (*converted*), the pragma-annotated loop (*pragma generated*)
+and the software-prefetch trace variant (*software*).
+
+| Name       | Source benchmark        | Pattern (Table 2)                      |
+|------------|-------------------------|----------------------------------------|
+| g500-csr   | Graph500 BFS            | BFS over CSR arrays                    |
+| g500-list  | Graph500 BFS            | BFS over linked edge lists             |
+| pagerank   | Boost Graph Library     | stride-indirect                        |
+| hj2        | Hash join (Blanas)      | stride-hash-indirect                   |
+| hj8        | Hash join (Blanas)      | stride-hash-indirect + list walks      |
+| randacc    | HPCC RandomAccess       | stride-hash-indirect                   |
+| intsort    | NAS IS                  | stride-indirect                        |
+| conjgrad   | NAS CG                  | stride-indirect                        |
+"""
+
+from .base import Workload, WorkloadScale
+from .conjgrad import ConjGradWorkload
+from .g500_csr import Graph500CSRWorkload
+from .g500_list import Graph500ListWorkload
+from .hashjoin import HashJoin2Workload, HashJoin8Workload
+from .intsort import IntSortWorkload
+from .pagerank import PageRankWorkload
+from .randacc import RandomAccessWorkload
+
+#: Registry of workload constructors keyed by canonical name.
+WORKLOADS = {
+    "g500-csr": Graph500CSRWorkload,
+    "g500-list": Graph500ListWorkload,
+    "hj2": HashJoin2Workload,
+    "hj8": HashJoin8Workload,
+    "pagerank": PageRankWorkload,
+    "randacc": RandomAccessWorkload,
+    "intsort": IntSortWorkload,
+    "conjgrad": ConjGradWorkload,
+}
+
+#: Order used throughout the evaluation (matches the paper's figures).
+WORKLOAD_ORDER = [
+    "g500-csr",
+    "g500-list",
+    "hj2",
+    "hj8",
+    "pagerank",
+    "randacc",
+    "intsort",
+    "conjgrad",
+]
+
+
+def build_workload(name: str, scale: str = "default", seed: int = 42) -> Workload:
+    """Construct and build the workload registered under ``name``."""
+
+    try:
+        constructor = WORKLOADS[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from error
+    workload = constructor(scale=scale, seed=seed)
+    workload.build()
+    return workload
+
+
+__all__ = [
+    "Workload",
+    "WorkloadScale",
+    "WORKLOADS",
+    "WORKLOAD_ORDER",
+    "build_workload",
+    "Graph500CSRWorkload",
+    "Graph500ListWorkload",
+    "HashJoin2Workload",
+    "HashJoin8Workload",
+    "PageRankWorkload",
+    "RandomAccessWorkload",
+    "IntSortWorkload",
+    "ConjGradWorkload",
+]

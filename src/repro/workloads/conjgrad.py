@@ -1,0 +1,152 @@
+"""ConjGrad — the NAS CG sparse matrix-vector multiply kernel.
+
+The memory-bound core of conjugate gradient is the SpMV ``y[r] += a[k] *
+x[colidx[k]]``: the column-index and value arrays stream sequentially while
+``x`` is gathered through the column indices — a stride-indirect pattern over
+a vector too large to cache.  The paper runs NAS class B; this reproduction
+uses a random sparse matrix whose gather vector exceeds the scaled L2.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..compiler import ir
+from ..cpu.trace import TraceBuilder
+from ..programmable.config_api import PrefetcherConfiguration
+from .base import Workload
+from .kernels import add_stride_indirect_chain, identity_transform
+
+SOFTWARE_PREFETCH_DISTANCE = 32
+
+
+class ConjGradWorkload(Workload):
+    """NAS CG sparse matrix-vector multiplication."""
+
+    name = "conjgrad"
+    pattern = "Stride-indirect"
+    paper_input = "NAS class B"
+    repro_input = "4,096-row sparse matrix, 6 nnz/row, 65,536-entry vector (scaled)"
+
+    def __init__(self, scale: str = "default", seed: int = 42) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.num_rows = self.scale.scaled(4096, minimum=128)
+        self.nnz_per_row = 6
+        self.num_cols = self.scale.scaled(65536, minimum=2048)
+
+    # ------------------------------------------------------------------ data
+
+    def _build_data(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        nnz = self.num_rows * self.nnz_per_row
+        columns = rng.integers(0, self.num_cols, size=nnz, dtype=np.int64)
+        row_offsets = np.arange(0, nnz + 1, self.nnz_per_row, dtype=np.int64)
+        values = rng.integers(1, 1 << 20, size=nnz, dtype=np.int64)
+        x_values = rng.integers(1, 1 << 20, size=self.num_cols, dtype=np.int64)
+
+        self.row_offsets = self.space.allocate_array("row_offsets", self.num_rows + 1, values=row_offsets)
+        self.colidx = self.space.allocate_array("colidx", nnz, values=columns)
+        self.avals = self.space.allocate_array("avals", nnz, values=values)
+        self.x = self.space.allocate_array("x", self.num_cols, values=x_values)
+        self.y = self.space.allocate_array("y", self.num_rows, values=np.zeros(self.num_rows, dtype=np.int64))
+        self._columns = columns
+        self._nnz = nnz
+
+    # ----------------------------------------------------------------- trace
+
+    def _emit_trace(self, tb: TraceBuilder, *, software_prefetch: bool) -> None:
+        dist = SOFTWARE_PREFETCH_DISTANCE
+        columns = self._columns
+        k = 0
+        for row in range(self.num_rows):
+            row_start = tb.load(self.row_offsets.addr_of(row))
+            tb.load(self.row_offsets.addr_of(row + 1))
+            accumulate: list[int] = []
+            for _ in range(self.nnz_per_row):
+                if software_prefetch and k + dist < self._nnz:
+                    future_col = tb.load(self.colidx.addr_of(k + dist))
+                    tb.software_prefetch(
+                        self.x.addr_of(int(columns[k + dist])), deps=[future_col]
+                    )
+                col_load = tb.load(self.colidx.addr_of(k), deps=[row_start])
+                x_load = tb.load(self.x.addr_of(int(columns[k])), deps=[col_load])
+                a_load = tb.load(self.avals.addr_of(k), deps=[row_start])
+                accumulate.append(tb.compute(4, deps=[x_load, a_load]))
+                k += 1
+            tb.store(self.y.addr_of(row), deps=accumulate[-1:])
+            tb.branch()
+
+    # ---------------------------------------------------------------- manual
+
+    def _build_manual_configuration(self) -> PrefetcherConfiguration:
+        config = PrefetcherConfiguration()
+        add_stride_indirect_chain(
+            config,
+            prefix="cg",
+            root_name="colidx",
+            root_base=self.colidx.base_addr,
+            root_end=self.colidx.end_addr,
+            target_name="x",
+            target_base=self.x.base_addr,
+            target_end=self.x.end_addr,
+            transform=identity_transform,
+        )
+        # The value array streams alongside colidx; a single-event kernel
+        # keeps it ahead of the core as well (it shares the colidx stream's
+        # look-ahead since the two arrays advance in lock step).
+        stream_index = config.stream_index("cg_colidx")
+        avals_base = config.set_global("cg_avals_base", self.avals.base_addr)
+        from ..programmable.kernel import KernelBuilder
+
+        builder = KernelBuilder("cg_on_avals_load")
+        base = builder.get_global(avals_base)
+        vaddr = builder.get_vaddr()
+        element = builder.shr(builder.sub(vaddr, base), 3)
+        lookahead = builder.get_lookahead(stream_index)
+        builder.prefetch(
+            builder.add(base, builder.shl(builder.add(element, lookahead), 3)), tag=-1
+        )
+        config.add_kernel(builder.build())
+        config.add_range(
+            "cg_avals",
+            self.avals.base_addr,
+            self.avals.end_addr,
+            load_kernel="cg_on_avals_load",
+        )
+        return config
+
+    # -------------------------------------------------------------- compiler
+
+    def _build_loop_ir(self) -> tuple[ir.Loop, Mapping[str, int]]:
+        colidx_decl = ir.ArrayDecl("colidx", "colidx_base", length_param="nnz")
+        x_decl = ir.ArrayDecl("x", "x_base", length_param="num_cols")
+        avals_decl = ir.ArrayDecl("avals", "avals_base", length_param="nnz")
+        loop = ir.Loop(
+            "conjgrad",
+            ir.IndexVar("k"),
+            trip_count_param="nnz",
+            arrays=[colidx_decl, x_decl, avals_decl],
+            pragma_prefetch=True,
+        )
+        k = loop.indvar
+        loop.add(
+            ir.SoftwarePrefetchStmt(
+                x_decl,
+                ir.Load(colidx_decl, ir.add(k, SOFTWARE_PREFETCH_DISTANCE)),
+                name="swpf_x",
+            )
+        )
+        gather = ir.Load(x_decl, ir.Load(colidx_decl, k))
+        value = ir.Load(avals_decl, k)
+        loop.add(ir.LoadStmt(gather))
+        loop.add(ir.ComputeStmt(2, uses=(gather, value)))
+        bindings = {
+            "colidx_base": self.colidx.base_addr,
+            "x_base": self.x.base_addr,
+            "avals_base": self.avals.base_addr,
+            "nnz": self._nnz,
+            "num_cols": self.num_cols,
+        }
+        return loop, bindings

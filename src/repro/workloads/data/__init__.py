@@ -1,0 +1,12 @@
+"""Synthetic input generators for the workloads."""
+
+from .distributions import random_keys, random_permutation, zipf_keys
+from .rmat import CSRGraph, generate_rmat_csr
+
+__all__ = [
+    "CSRGraph",
+    "generate_rmat_csr",
+    "random_keys",
+    "random_permutation",
+    "zipf_keys",
+]

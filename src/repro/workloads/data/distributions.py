@@ -1,0 +1,39 @@
+"""Key and value distributions for the non-graph workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_keys(count: int, key_space: int, *, seed: int = 42) -> np.ndarray:
+    """Uniform random keys in ``[0, key_space)`` — the hash-join/GUPS input."""
+
+    if count < 1 or key_space < 1:
+        raise ValueError("count and key_space must be positive")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, key_space, size=count, dtype=np.int64)
+
+
+def random_permutation(count: int, *, seed: int = 42) -> np.ndarray:
+    """A random permutation of ``[0, count)``."""
+
+    if count < 1:
+        raise ValueError("count must be positive")
+    rng = np.random.default_rng(seed)
+    return rng.permutation(count).astype(np.int64)
+
+
+def zipf_keys(count: int, key_space: int, *, exponent: float = 1.2, seed: int = 42) -> np.ndarray:
+    """Zipf-skewed keys clipped to ``[0, key_space)``.
+
+    Used for ablations on skewed join keys; the default evaluation follows the
+    paper and uses uniform keys.
+    """
+
+    if count < 1 or key_space < 1:
+        raise ValueError("count and key_space must be positive")
+    if exponent <= 1.0:
+        raise ValueError("Zipf exponent must be greater than 1")
+    rng = np.random.default_rng(seed)
+    draws = rng.zipf(exponent, size=count).astype(np.int64)
+    return (draws - 1) % key_space

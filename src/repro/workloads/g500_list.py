@@ -1,0 +1,245 @@
+"""Graph500 breadth-first search over linked edge lists (G500-List).
+
+Identical traversal to :mod:`repro.workloads.g500_csr`, but each vertex's
+edges are stored as a linked list of nodes scattered through memory instead
+of a contiguous CSR slice.  Walking a list is inherently sequential — each
+node's address comes from the previous node — so there is no fine-grained
+memory-level parallelism to mine; the paper reports this as its lowest
+speedup (1.7×), with prefetches arriving early enough only to help the L2,
+and about 40 % extra memory traffic.  The manual kernels here walk the list
+through a self-re-triggering tagged event, exactly as the hardware would.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..compiler import ir
+from ..config import WORD_BYTES
+from ..cpu.trace import TraceBuilder
+from ..programmable.config_api import PrefetcherConfiguration
+from ..programmable.kernel import KernelBuilder
+from .base import Workload
+from .data.rmat import generate_rmat_csr
+
+SOFTWARE_PREFETCH_DISTANCE = 8
+
+#: Edge-node layout: [dest, next] — 16 bytes.
+_NODE_WORDS = 2
+
+
+class Graph500ListWorkload(Workload):
+    """Graph500 BFS with linked-list edge storage."""
+
+    name = "g500-list"
+    pattern = "BFS (lists)"
+    paper_input = "-s 16 -e 10"
+    repro_input = "R-MAT scale 12, edge factor 4, linked edge lists (scaled)"
+
+    def __init__(self, scale: str = "default", seed: int = 42) -> None:
+        super().__init__(scale=scale, seed=seed)
+        if self.scale.factor >= 1.0:
+            self.graph_scale = 12
+        elif self.scale.factor >= 0.3:
+            self.graph_scale = 10
+        else:
+            self.graph_scale = 8
+        self.edge_factor = 4
+
+    # ------------------------------------------------------------------ data
+
+    def _build_data(self) -> None:
+        graph = generate_rmat_csr(self.graph_scale, self.edge_factor, seed=self.seed)
+        vertices = graph.num_vertices
+        rng = np.random.default_rng(self.seed)
+
+        self.heads = self.space.allocate_array(
+            "list_heads", vertices, values=np.zeros(vertices, dtype=np.int64)
+        )
+        num_edges = max(1, graph.num_edges)
+        self.nodes = self.space.allocate_array(
+            "list_nodes", num_edges * _NODE_WORDS, values=np.zeros(num_edges * _NODE_WORDS, dtype=np.int64)
+        )
+        self.visited = self.space.allocate_array(
+            "list_visited", vertices, values=np.zeros(vertices, dtype=np.int64)
+        )
+        self.queue = self.space.allocate_array(
+            "list_queue", vertices, values=np.zeros(vertices, dtype=np.int64)
+        )
+
+        # Build the per-vertex edge lists from the CSR graph, allocating the
+        # nodes in a random order so list traversal jumps around memory.
+        placement = rng.permutation(graph.num_edges)
+        slot_of_edge = np.empty(graph.num_edges, dtype=np.int64)
+        slot_of_edge[placement] = np.arange(graph.num_edges)
+        for vertex in range(vertices):
+            start = int(graph.row_offsets[vertex])
+            end = int(graph.row_offsets[vertex + 1])
+            head = 0
+            for edge in range(start, end):
+                slot = int(slot_of_edge[edge])
+                node_addr = self.nodes.addr_of(slot * _NODE_WORDS)
+                self.nodes[slot * _NODE_WORDS] = int(graph.columns[edge])
+                self.nodes[slot * _NODE_WORDS + 1] = head
+                head = node_addr
+            self.heads[vertex] = head
+
+        self._graph = graph
+        degrees = np.diff(graph.row_offsets)
+        self._root = int(np.argmax(degrees))
+
+    # ----------------------------------------------------------------- trace
+
+    def _emit_trace(self, tb: TraceBuilder, *, software_prefetch: bool) -> None:
+        graph = self._graph
+        visited = np.zeros(graph.num_vertices, dtype=bool)
+        dist = SOFTWARE_PREFETCH_DISTANCE
+
+        self.queue[0] = self._root
+        visited[self._root] = True
+        self.visited[self._root] = 1
+        head_index, tail = 0, 1
+
+        while head_index < tail:
+            if software_prefetch and head_index + dist < tail:
+                future_entry = tb.load(self.queue.addr_of(head_index + dist))
+                tb.software_prefetch(
+                    self.heads.addr_of(int(self.queue[head_index + dist])),
+                    deps=[future_entry],
+                )
+            queue_load = tb.load(self.queue.addr_of(head_index))
+            vertex = int(self.queue[head_index])
+            head_index += 1
+
+            head_load = tb.load(self.heads.addr_of(vertex), deps=[queue_load])
+            node_addr = self.space.read_word(self.heads.addr_of(vertex))
+            previous = head_load
+            while node_addr != 0:
+                dest_load = tb.load(node_addr, deps=[previous])
+                next_load = tb.load(node_addr + WORD_BYTES, deps=[previous])
+                dest = self.space.read_word(node_addr)
+                visited_load = tb.load(self.visited.addr_of(dest), deps=[dest_load])
+                tb.compute(2, deps=[visited_load])
+                tb.branch(deps=[visited_load])
+                if not visited[dest]:
+                    visited[dest] = True
+                    self.visited[dest] = 1
+                    tb.store(self.visited.addr_of(dest), deps=[visited_load])
+                    self.queue[tail] = dest
+                    tb.store(self.queue.addr_of(tail), deps=[visited_load])
+                    tail += 1
+                previous = next_load
+                node_addr = self.space.read_word(node_addr + WORD_BYTES)
+            tb.branch()
+
+    # ---------------------------------------------------------------- manual
+
+    def _build_manual_configuration(self) -> PrefetcherConfiguration:
+        config = PrefetcherConfiguration()
+        stream = "list_queue"
+        config.add_stream(stream, default_distance=4)
+        queue_base = config.set_global("list_queue_base", self.queue.base_addr)
+        heads_base = config.set_global("list_heads_base", self.heads.base_addr)
+        visited_base = config.set_global("list_visited_base", self.visited.base_addr)
+
+        # Kernel 4: an edge node arrived — prefetch its destination's visited
+        # entry and follow the next pointer (self-re-triggering walk).
+        node_kernel = KernelBuilder("list_on_node_fill")
+        vbase = node_kernel.get_global(visited_base)
+        vaddr = node_kernel.get_vaddr()
+        offset = node_kernel.and_(node_kernel.shr(vaddr, 3), 7)
+        dest = node_kernel.line_word(offset)
+        node_kernel.prefetch(node_kernel.add(vbase, node_kernel.shl(dest, 3)))
+        next_ptr = node_kernel.line_word(node_kernel.add(offset, 1))
+        node_kernel.branch_eq(next_ptr, 0, "done")
+        node_kernel.prefetch(next_ptr, tag=0)  # tag 0 == list_node_fill (asserted below)
+        node_kernel.label("done")
+        node_kernel.halt()
+        config.add_kernel(node_kernel.build())
+        node_tag = config.add_tag("list_node_fill", "list_on_node_fill", stream=stream, chain_end=True)
+        if node_tag != 0:
+            raise AssertionError("list node tag expected to be 0")
+
+        # Kernel 3: the head pointer arrived — start the list walk.
+        head_kernel = KernelBuilder("list_on_head_fill")
+        pointer = head_kernel.get_data()
+        head_kernel.branch_eq(pointer, 0, "empty")
+        head_kernel.prefetch(pointer, tag=node_tag)
+        head_kernel.label("empty")
+        head_kernel.halt()
+        config.add_kernel(head_kernel.build())
+        head_tag = config.add_tag("list_head_fill", "list_on_head_fill", stream=stream)
+
+        # Kernel 2: a future queue entry arrived — fetch its head pointer.
+        queue_fill = KernelBuilder("list_on_queue_fill")
+        vertex_id = queue_fill.get_data()
+        queue_fill.prefetch(
+            queue_fill.add(queue_fill.get_global(heads_base), queue_fill.shl(vertex_id, 3)),
+            tag=head_tag,
+        )
+        config.add_kernel(queue_fill.build())
+        queue_tag = config.add_tag("list_queue_fill", "list_on_queue_fill", stream=stream)
+
+        # Kernel 1: the core read a queue entry — prefetch a future entry.
+        queue_load = KernelBuilder("list_on_queue_load")
+        qbase = queue_load.get_global(queue_base)
+        qaddr = queue_load.get_vaddr()
+        index = queue_load.shr(queue_load.sub(qaddr, qbase), 3)
+        lookahead = queue_load.get_lookahead(config.stream_index(stream))
+        queue_load.prefetch(
+            queue_load.add(qbase, queue_load.shl(queue_load.add(index, lookahead), 3)),
+            tag=queue_tag,
+        )
+        config.add_kernel(queue_load.build())
+
+        config.add_range(
+            "list_queue",
+            self.queue.base_addr,
+            self.queue.end_addr,
+            load_kernel="list_on_queue_load",
+            stream=stream,
+            time_iterations=True,
+            chain_start=True,
+        )
+        return config
+
+    # -------------------------------------------------------------- compiler
+
+    def _build_loop_ir(self) -> tuple[ir.Loop, Mapping[str, int]]:
+        queue_decl = ir.ArrayDecl("queue", "queue_base", length_param="num_vertices")
+        heads_decl = ir.ArrayDecl("heads", "heads_base", length_param="num_vertices")
+        heap_decl = ir.ArrayDecl("heap", "zero_base", element_bytes=1)
+        visited_decl = ir.ArrayDecl("visited", "visited_base", length_param="num_vertices")
+        loop = ir.Loop(
+            "g500_list",
+            ir.IndexVar("i"),
+            trip_count_param="num_vertices",
+            arrays=[queue_decl, heads_decl, heap_decl, visited_decl],
+            pragma_prefetch=True,
+            has_irregular_control_flow=True,
+        )
+        i = loop.indvar
+
+        # A software prefetch can reach the head pointer of a future frontier
+        # vertex; everything past it is a pointer chase behind control flow.
+        loop.add(
+            ir.SoftwarePrefetchStmt(
+                heads_decl,
+                ir.Load(queue_decl, ir.add(i, SOFTWARE_PREFETCH_DISTANCE)),
+                name="swpf_head",
+            )
+        )
+        head_pointer = ir.Load(heads_decl, ir.Load(queue_decl, i))
+        loop.add(ir.LoadStmt(head_pointer))
+        loop.add(ir.LoadStmt(ir.Load(heap_decl, head_pointer, control_dependent=True)))
+
+        bindings = {
+            "queue_base": self.queue.base_addr,
+            "heads_base": self.heads.base_addr,
+            "visited_base": self.visited.base_addr,
+            "zero_base": 0,
+            "num_vertices": self._graph.num_vertices,
+        }
+        return loop, bindings

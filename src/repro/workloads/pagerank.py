@@ -1,0 +1,146 @@
+"""PageRank — pull-style PageRank iteration over an R-MAT web graph.
+
+The paper uses the Boost Graph Library PageRank on the web-Google graph.  The
+kernel is a stride-indirect gather: the edge (source-vertex) array streams
+sequentially while the rank and out-degree of each source vertex are gathered
+through it.  The BGL implementation works on high-level iterators, so the
+paper could not insert software prefetches — the *software* and *converted*
+bars are absent from Figure 7 — but the pragma pass (which sees the IR, not
+the iterator abstraction) and manual programming both work.  This workload
+reproduces exactly that asymmetry: :meth:`supports_software_prefetch` is
+False, so the software/converted modes are unavailable, while pragma and
+manual configurations are provided.
+
+web-Google is not redistributable here; an R-MAT graph with comparable degree
+skew stands in for it (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..compiler import ir
+from ..cpu.trace import TraceBuilder
+from ..programmable.config_api import PrefetcherConfiguration
+from .base import Workload
+from .data.rmat import generate_rmat_csr
+from .kernels import add_stride_indirect_chain, identity_transform
+
+
+class PageRankWorkload(Workload):
+    """One pull-style PageRank sweep (rank gather through the edge array)."""
+
+    name = "pagerank"
+    pattern = "Stride-indirect"
+    paper_input = "web-Google"
+    repro_input = "R-MAT scale 14, edge factor 6, ~18k-edge sweep (scaled)"
+
+    def __init__(self, scale: str = "default", seed: int = 42) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.graph_scale = 14 if self.scale.factor >= 1.0 else (12 if self.scale.factor >= 0.3 else 9)
+        self.edge_factor = 6
+        self.edge_budget = self.scale.scaled(18000, minimum=512)
+
+    # ------------------------------------------------------------------ data
+
+    def _build_data(self) -> None:
+        graph = generate_rmat_csr(
+            self.graph_scale, self.edge_factor, seed=self.seed, undirected=False
+        )
+        vertices = graph.num_vertices
+        rng = np.random.default_rng(self.seed)
+
+        self.row_offsets = self.space.allocate_array(
+            "pr_row_offsets", vertices + 1, values=graph.row_offsets
+        )
+        self.sources = self.space.allocate_array("pr_sources", max(1, graph.num_edges), values=graph.columns)
+        self.rank = self.space.allocate_array(
+            "pr_rank", vertices, values=rng.integers(1, 1 << 20, size=vertices, dtype=np.int64)
+        )
+        self.outdeg = self.space.allocate_array(
+            "pr_outdeg",
+            vertices,
+            values=np.maximum(1, np.diff(graph.row_offsets)),
+        )
+        self.new_rank = self.space.allocate_array(
+            "pr_new_rank", vertices, values=np.zeros(vertices, dtype=np.int64)
+        )
+        self._graph = graph
+
+    # ----------------------------------------------------------------- trace
+
+    def supports_software_prefetch(self) -> bool:
+        return False
+
+    def _emit_trace(self, tb: TraceBuilder, *, software_prefetch: bool) -> None:
+        del software_prefetch  # unreachable: supports_software_prefetch() is False
+        graph = self._graph
+        edges_done = 0
+        for vertex in range(graph.num_vertices):
+            if edges_done >= self.edge_budget:
+                break
+            start = int(graph.row_offsets[vertex])
+            end = int(graph.row_offsets[vertex + 1])
+            if start == end:
+                continue
+            row_load = tb.load(self.row_offsets.addr_of(vertex))
+            tb.load(self.row_offsets.addr_of(vertex + 1))
+            accumulate = row_load
+            for edge in range(start, end):
+                source = int(graph.columns[edge])
+                src_load = tb.load(self.sources.addr_of(edge), deps=[row_load])
+                rank_load = tb.load(self.rank.addr_of(source), deps=[src_load])
+                deg_load = tb.load(self.outdeg.addr_of(source), deps=[src_load])
+                accumulate = tb.compute(5, deps=[rank_load, deg_load, accumulate])
+                edges_done += 1
+            tb.store(self.new_rank.addr_of(vertex), deps=[accumulate])
+            tb.branch()
+
+    # ---------------------------------------------------------------- manual
+
+    def _build_manual_configuration(self) -> PrefetcherConfiguration:
+        config = PrefetcherConfiguration()
+        add_stride_indirect_chain(
+            config,
+            prefix="pr",
+            root_name="sources",
+            root_base=self.sources.base_addr,
+            root_end=self.sources.end_addr,
+            target_name="rank",
+            target_base=self.rank.base_addr,
+            target_end=self.rank.end_addr,
+            transform=identity_transform,
+            extra_targets=[("outdeg", self.outdeg.base_addr, 3, identity_transform)],
+        )
+        return config
+
+    # -------------------------------------------------------------- compiler
+
+    def _build_loop_ir(self) -> tuple[ir.Loop, Mapping[str, int]]:
+        sources_decl = ir.ArrayDecl("sources", "sources_base", length_param="num_edges")
+        rank_decl = ir.ArrayDecl("rank", "rank_base", length_param="num_vertices")
+        outdeg_decl = ir.ArrayDecl("outdeg", "outdeg_base", length_param="num_vertices")
+        loop = ir.Loop(
+            "pagerank",
+            ir.IndexVar("e"),
+            trip_count_param="num_edges",
+            arrays=[sources_decl, rank_decl, outdeg_decl],
+            pragma_prefetch=True,
+        )
+        e = loop.indvar
+        source = ir.Load(sources_decl, e)
+        rank = ir.Load(rank_decl, source)
+        outdeg = ir.Load(outdeg_decl, ir.Load(sources_decl, e))
+        loop.add(ir.LoadStmt(rank))
+        loop.add(ir.LoadStmt(outdeg))
+        loop.add(ir.ComputeStmt(3, uses=(rank, outdeg)))
+        bindings = {
+            "sources_base": self.sources.base_addr,
+            "rank_base": self.rank.base_addr,
+            "outdeg_base": self.outdeg.base_addr,
+            "num_edges": len(self.sources),
+            "num_vertices": self._graph.num_vertices,
+        }
+        return loop, bindings

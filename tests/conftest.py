@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+Workload construction (graph generation, hash-table building, trace emission)
+is the expensive part of most integration tests, so tiny-scale workloads are
+cached per test session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.memory.address_space import AddressSpace
+from repro.workloads import WORKLOAD_ORDER, build_workload
+
+
+@pytest.fixture
+def scaled_config() -> SystemConfig:
+    return SystemConfig.scaled()
+
+
+@pytest.fixture
+def paper_config() -> SystemConfig:
+    return SystemConfig.paper()
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    return AddressSpace()
+
+
+class _WorkloadCache:
+    """Builds each tiny workload at most once per session."""
+
+    def __init__(self) -> None:
+        self._cache = {}
+
+    def get(self, name: str):
+        if name not in self._cache:
+            self._cache[name] = build_workload(name, scale="tiny")
+        return self._cache[name]
+
+
+_CACHE = _WorkloadCache()
+
+
+@pytest.fixture(scope="session")
+def tiny_workloads():
+    """Session-cached factory for tiny-scale workloads."""
+
+    return _CACHE
+
+
+@pytest.fixture(params=WORKLOAD_ORDER)
+def each_workload_name(request) -> str:
+    return request.param

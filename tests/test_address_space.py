@@ -1,0 +1,120 @@
+"""Tests for the simulated virtual address space."""
+
+import pytest
+
+from repro.errors import AccessError, AllocationError
+from repro.memory.address_space import AddressSpace, DEFAULT_HEAP_BASE
+
+
+class TestAllocation:
+    def test_allocations_are_line_aligned(self, space):
+        region = space.allocate("a", 10)
+        assert region.base % 64 == 0
+
+    def test_allocations_do_not_overlap(self, space):
+        first = space.allocate("a", 100)
+        second = space.allocate("b", 100)
+        assert second.base >= first.end
+
+    def test_zero_size_rejected(self, space):
+        with pytest.raises(AllocationError):
+            space.allocate("a", 0)
+
+    def test_mapped_bytes_accumulates(self, space):
+        space.allocate("a", 64)
+        space.allocate("b", 128)
+        assert space.mapped_bytes == 192
+
+    def test_heap_base_respected(self):
+        space = AddressSpace(heap_base=0x2000_0000)
+        region = space.allocate("a", 64)
+        assert region.base >= 0x2000_0000
+
+    def test_bad_heap_base(self):
+        with pytest.raises(AllocationError):
+            AddressSpace(heap_base=0)
+
+
+class TestWordAccess:
+    def test_read_write_roundtrip(self, space):
+        region = space.allocate("a", 64)
+        space.write_word(region.base, 1234)
+        assert space.read_word(region.base) == 1234
+
+    def test_negative_values_roundtrip_as_signed(self, space):
+        region = space.allocate("a", 64)
+        space.write_word(region.base, -5)
+        assert space.read_word(region.base) == -5
+
+    def test_unmapped_read_raises(self, space):
+        with pytest.raises(AccessError):
+            space.read_word(DEFAULT_HEAP_BASE - 64)
+
+    def test_unaligned_access_raises(self, space):
+        region = space.allocate("a", 64)
+        with pytest.raises(AccessError):
+            space.read_word(region.base + 3)
+
+    def test_is_mapped(self, space):
+        region = space.allocate("a", 64)
+        assert space.is_mapped(region.base)
+        assert space.is_mapped(region.end - 1)
+        assert not space.is_mapped(region.end + 4096)
+
+
+class TestTypedArray:
+    def test_fill_and_index(self, space):
+        array = space.allocate_array("a", 16, values=range(16))
+        assert array[0] == 0
+        assert array[15] == 15
+        assert len(array) == 16
+
+    def test_addr_of_is_linear(self, space):
+        array = space.allocate_array("a", 8)
+        assert array.addr_of(3) - array.addr_of(0) == 24
+
+    def test_out_of_bounds_raises(self, space):
+        array = space.allocate_array("a", 8)
+        with pytest.raises(AccessError):
+            array[8]
+        with pytest.raises(AccessError):
+            array.addr_of(-1)
+
+    def test_setitem(self, space):
+        array = space.allocate_array("a", 4)
+        array[2] = 99
+        assert array[2] == 99
+        assert space.read_word(array.addr_of(2)) == 99
+
+    def test_to_list_roundtrip(self, space):
+        values = [5, -3, 7, 0]
+        array = space.allocate_array("a", 4, values=values)
+        assert array.to_list() == values
+        assert list(array) == values
+
+    def test_end_addr(self, space):
+        array = space.allocate_array("a", 10)
+        assert array.end_addr - array.base_addr == 80
+
+    def test_overfill_rejected(self, space):
+        array = space.allocate_array("a", 2)
+        with pytest.raises(AllocationError):
+            array.fill(range(5))
+
+
+class TestLineReads:
+    def test_read_line_returns_eight_words(self, space):
+        array = space.allocate_array("a", 8, values=range(8))
+        line = space.read_line(array.base_addr)
+        assert line == list(range(8))
+
+    def test_read_line_mid_line_address(self, space):
+        array = space.allocate_array("a", 8, values=range(8))
+        assert space.read_line(array.addr_of(5)) == list(range(8))
+
+    def test_read_line_pads_unmapped_words_with_zero(self, space):
+        # A 2-word allocation still yields an 8-word line view.
+        array = space.allocate_array("a", 2, values=[7, 9])
+        line = space.read_line(array.base_addr)
+        assert line[:2] == [7, 9]
+        assert len(line) == 8

@@ -1,0 +1,250 @@
+"""Tests for the compiler passes: analysis, bounds, conversion, pragma, DCE."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.analysis import (
+    decompose_prefetch,
+    extract_root_distance,
+    find_variant_loads,
+    is_loop_invariant,
+)
+from repro.compiler.bounds import infer_bounds
+from repro.compiler.convert import convert_software_prefetches
+from repro.compiler.dce import prefetch_overhead_instructions, removed_instructions
+from repro.compiler.pragma import generate_from_pragma
+from repro.errors import CompilationError
+
+
+def figure4_loop(distance=16, *, with_swpf=True, pragma=True):
+    """The paper's Figure 4/5 loop: ``acc += C[B[A[x]]]`` with optional SWPF."""
+
+    a = ir.ArrayDecl("A", "base_A", length_param="N")
+    b = ir.ArrayDecl("B", "base_B", length_param="N")
+    c = ir.ArrayDecl("C", "base_C", length_param="N")
+    loop = ir.Loop("figure4", ir.IndexVar("x"), trip_count_param="N",
+                   arrays=[a, b, c], pragma_prefetch=pragma)
+    x = loop.indvar
+    if with_swpf:
+        loop.add(
+            ir.SoftwarePrefetchStmt(
+                c, ir.Load(b, ir.Load(a, ir.add(x, distance))), name="swpf_C"
+            )
+        )
+    loop.add(ir.LoadStmt(ir.Load(c, ir.Load(b, ir.Load(a, x)))))
+    bindings = {"base_A": 0x10000, "base_B": 0x20000, "base_C": 0x30000, "N": 1024}
+    return loop, bindings
+
+
+class TestAnalysis:
+    def test_loop_invariance(self):
+        loop, _ = figure4_loop()
+        assert is_loop_invariant(ir.Constant(4), loop)
+        assert is_loop_invariant(ir.Param("base"), loop)
+        assert not is_loop_invariant(loop.indvar, loop)
+        assert not is_loop_invariant(ir.Load(loop.arrays[0], loop.indvar), loop)
+        assert is_loop_invariant(ir.add(ir.Param("a"), 3), loop)
+
+    def test_find_variant_loads_stops_at_first_load(self):
+        loop, _ = figure4_loop()
+        swpf = loop.software_prefetches()[0]
+        loads = find_variant_loads(swpf.index, loop)
+        assert len(loads) == 1
+        assert loads[0].array.name == "B"
+
+    def test_root_distance_extraction(self):
+        indvar = ir.IndexVar("x")
+        assert extract_root_distance(indvar, indvar) == 0
+        assert extract_root_distance(ir.add(indvar, 8), indvar) == 8
+        with pytest.raises(CompilationError):
+            extract_root_distance(ir.mul(indvar, 2), indvar)
+
+    def test_decompose_three_level_chain(self):
+        loop, _ = figure4_loop(distance=32)
+        swpf = loop.software_prefetches()[0]
+        chain = decompose_prefetch(loop, swpf.array, swpf.index, "swpf_C")
+        assert chain.arrays == ("A", "B", "C")
+        assert chain.root_distance == 32
+        assert chain.root.is_root
+
+    def test_multiple_loads_per_address_fail(self):
+        a = ir.ArrayDecl("A", "base_A", length_param="N")
+        b = ir.ArrayDecl("B", "base_B", length_param="N")
+        t = ir.ArrayDecl("T", "base_T", length_param="N")
+        loop = ir.Loop("bad", ir.IndexVar("i"), trip_count_param="N", arrays=[a, b, t])
+        index = ir.add(ir.Load(a, loop.indvar), ir.Load(b, loop.indvar))
+        with pytest.raises(CompilationError, match="more than one"):
+            decompose_prefetch(loop, t, index, "bad")
+
+    def test_control_dependent_load_fails(self):
+        loop, _ = figure4_loop()
+        heap = ir.ArrayDecl("heap", "zero", element_bytes=1)
+        index = ir.Load(heap, ir.Load(loop.arrays[0], loop.indvar), control_dependent=True)
+        with pytest.raises(CompilationError, match="control"):
+            decompose_prefetch(loop, loop.arrays[2], index, "bad")
+
+    def test_no_induction_variable_fails(self):
+        loop, _ = figure4_loop()
+        with pytest.raises(CompilationError, match="induction"):
+            decompose_prefetch(loop, loop.arrays[2], ir.Param("p"), "bad")
+
+
+class TestBounds:
+    def test_bounds_from_length_param(self):
+        loop, bindings = figure4_loop()
+        base, end = infer_bounds(loop.arrays[0], loop, bindings)
+        assert (base, end) == (0x10000, 0x10000 + 1024 * 8)
+
+    def test_bounds_from_trip_count_fallback(self):
+        array = ir.ArrayDecl("P", "base_P")  # pointer-style: no declared length
+        loop = ir.Loop("l", ir.IndexVar("i"), trip_count_param="n", arrays=[array])
+        base, end = infer_bounds(array, loop, {"base_P": 0x100, "n": 10})
+        assert end == 0x100 + 80
+
+    def test_unbound_base_fails(self):
+        loop, _ = figure4_loop()
+        with pytest.raises(CompilationError):
+            infer_bounds(loop.arrays[0], loop, {})
+
+    def test_no_length_information_fails(self):
+        array = ir.ArrayDecl("P", "base_P")
+        loop = ir.Loop("l", ir.IndexVar("i"), arrays=[array])
+        with pytest.raises(CompilationError):
+            infer_bounds(array, loop, {"base_P": 0x100}, allow_trip_count=False)
+
+
+class TestConversionPass:
+    def test_converts_figure4(self):
+        loop, bindings = figure4_loop()
+        program = convert_software_prefetches(loop, bindings)
+        assert program.converted
+        assert program.failures == []
+        assert len(program.configuration.kernels) == 3
+        assert len(program.configuration.ranges) >= 1
+        assert program.removed_main_instructions >= 3
+        program.configuration.validate()
+
+    def test_generated_kernels_compute_correct_addresses(self):
+        from repro.programmable.interpreter import KernelContext, execute_kernel
+
+        loop, bindings = figure4_loop()
+        program = convert_software_prefetches(loop, bindings)
+        config = program.configuration
+        root_range = [r for r in config.ranges if r.load_kernel][0]
+        kernel = config.kernel(root_range.load_kernel)
+        ctx = KernelContext(
+            vaddr=bindings["base_A"] + 5 * 8,
+            line_base=bindings["base_A"] + 5 * 8 - ((bindings["base_A"] + 5 * 8) % 64),
+            line_words=[0] * 8,
+            global_registers=config.global_values(),
+            lookahead=lambda s: 16,
+        )
+        result = execute_kernel(kernel, ctx)
+        assert result.prefetch_addresses == [bindings["base_A"] + (5 + 16) * 8]
+        assert result.prefetches[0][1] >= 0  # tagged for the follow-on event
+
+    def test_loop_without_prefetches_reports_failure(self):
+        loop, bindings = figure4_loop(with_swpf=False)
+        program = convert_software_prefetches(loop, bindings)
+        assert not program.converted
+        assert program.failures
+
+    def test_pointer_chase_prefetch_rejected(self):
+        loop, bindings = figure4_loop()
+        heap = ir.ArrayDecl("heap", "zero_base", element_bytes=1)
+        loop.declare_array(heap)
+        loop.add(
+            ir.SoftwarePrefetchStmt(
+                heap,
+                ir.Load(heap, ir.Load(loop.arrays[0], loop.indvar), control_dependent=True),
+                name="swpf_list",
+            )
+        )
+        bindings = dict(bindings, zero_base=0)
+        program = convert_software_prefetches(loop, bindings)
+        assert any("swpf_list" in name for name, _ in program.failures)
+        # The convertible prefetch still converts.
+        assert program.converted
+
+
+class TestPragmaPass:
+    def test_discovers_indirect_chain_without_swpf(self):
+        loop, bindings = figure4_loop(with_swpf=False)
+        program = generate_from_pragma(loop, bindings)
+        assert program.converted
+        assert program.chains[0].arrays == ("A", "B", "C")
+
+    def test_requires_pragma_annotation(self):
+        loop, bindings = figure4_loop(pragma=False)
+        with pytest.raises(CompilationError):
+            generate_from_pragma(loop, bindings)
+
+    def test_duplicate_chains_deduplicated(self):
+        a = ir.ArrayDecl("A", "base_A", length_param="N")
+        b = ir.ArrayDecl("B", "base_B", length_param="N")
+        loop = ir.Loop("dup", ir.IndexVar("i"), trip_count_param="N",
+                       arrays=[a, b], pragma_prefetch=True)
+        loop.add(ir.LoadStmt(ir.Load(b, ir.Load(a, loop.indvar))))
+        loop.add(ir.LoadStmt(ir.Load(b, ir.Load(a, loop.indvar))))
+        program = generate_from_pragma(loop, {"base_A": 0x1000, "base_B": 0x2000, "N": 64})
+        assert len(program.chains) == 1
+
+    def test_control_dependent_loads_reported_not_converted(self):
+        loop, bindings = figure4_loop(with_swpf=False)
+        heap = ir.ArrayDecl("heap", "zero_base", element_bytes=1)
+        loop.declare_array(heap)
+        loop.add(
+            ir.LoadStmt(
+                ir.Load(heap, ir.Load(loop.arrays[0], loop.indvar), control_dependent=True)
+            )
+        )
+        program = generate_from_pragma(loop, dict(bindings, zero_base=0))
+        assert program.failures
+        assert all("heap" != chain.arrays[-1] for chain in program.chains)
+
+    def test_strided_only_loop_produces_nothing(self):
+        a = ir.ArrayDecl("A", "base_A", length_param="N")
+        loop = ir.Loop("strided", ir.IndexVar("i"), trip_count_param="N",
+                       arrays=[a], pragma_prefetch=True)
+        loop.add(ir.LoadStmt(ir.Load(a, loop.indvar)))
+        program = generate_from_pragma(loop, {"base_A": 0x1000, "N": 64})
+        assert not program.converted
+
+
+class TestDCE:
+    def test_overhead_counts_loads_and_arithmetic(self):
+        loop, _ = figure4_loop()
+        swpf = loop.software_prefetches()[0]
+        overhead = prefetch_overhead_instructions(swpf)
+        # swpf itself + add(x, dist) + two loads (A and B)
+        assert overhead == 1 + 1 + 2
+
+    def test_removed_instructions_sums(self):
+        loop, _ = figure4_loop()
+        assert removed_instructions(loop.software_prefetches()) == prefetch_overhead_instructions(
+            loop.software_prefetches()[0]
+        )
+
+
+class TestWorkloadIRIntegration:
+    """Every workload's IR must be consumable by both passes without crashing."""
+
+    def test_each_workload_ir_compiles(self, tiny_workloads, each_workload_name):
+        workload = tiny_workloads.get(each_workload_name)
+        loop, bindings = workload.loop_ir()
+        converted = convert_software_prefetches(loop, bindings)
+        converted.configuration.validate()
+        pragma = generate_from_pragma(loop, bindings)
+        pragma.configuration.validate()
+
+    def test_pagerank_has_no_software_prefetches(self, tiny_workloads):
+        workload = tiny_workloads.get("pagerank")
+        loop, _ = workload.loop_ir()
+        assert loop.software_prefetches() == []
+
+    def test_g500_list_conversion_limited_to_head_chain(self, tiny_workloads):
+        workload = tiny_workloads.get("g500-list")
+        loop, bindings = workload.loop_ir()
+        program = convert_software_prefetches(loop, bindings)
+        for chain in program.chains:
+            assert chain.arrays[-1] in ("heads",)

@@ -1,0 +1,133 @@
+"""Tests for the out-of-order core timing model.
+
+These check the properties the evaluation relies on: dependent loads
+serialise, independent loads overlap up to the machine's window, software
+prefetches do not stall the pipeline, and cache hits are much cheaper than
+DRAM misses.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.cpu.core import OutOfOrderCore
+from repro.cpu.trace import TraceBuilder
+from repro.memory.address_space import AddressSpace
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def make_system(l1_kb: int = 16):
+    config = SystemConfig.scaled()
+    space = AddressSpace()
+    array = space.allocate_array("data", 1 << 16, values=range(1 << 16))
+    hierarchy = MemoryHierarchy(config, space)
+    return config, space, array, hierarchy
+
+
+def run(config, hierarchy, trace):
+    return OutOfOrderCore(config.core, hierarchy).run(trace)
+
+
+class TestBasicTiming:
+    def test_empty_compute_trace_is_issue_bound(self):
+        config, _, _, hierarchy = make_system()
+        tb = TraceBuilder()
+        for _ in range(300):
+            tb.compute(3)
+        stats = run(config, hierarchy, tb.build())
+        # 900 instructions on a 3-wide core ≈ 300 cycles plus small latency.
+        assert stats.cycles == pytest.approx(300, rel=0.1)
+        assert stats.instructions == 900
+
+    def test_l1_hits_are_cheap(self):
+        config, _, array, hierarchy = make_system()
+        tb = TraceBuilder()
+        for _ in range(200):
+            tb.load(array.addr_of(0))
+        stats = run(config, hierarchy, tb.build())
+        assert stats.cycles < 2000
+
+    def test_dependent_misses_serialise(self):
+        config, _, array, hierarchy = make_system()
+        stride = 1024  # one load per distinct line and page region
+        tb = TraceBuilder()
+        previous = tb.load(array.addr_of(0))
+        for i in range(1, 50):
+            previous = tb.load(array.addr_of(i * stride), deps=[previous])
+        serial = run(config, hierarchy, tb.build())
+
+        _, _, array2, hierarchy2 = make_system()
+        tb = TraceBuilder()
+        for i in range(50):
+            tb.load(array2.addr_of(i * stride))
+        parallel = run(config, hierarchy2, tb.build())
+        # Dependent pointer-chase style loads must be far slower than the same
+        # loads made independent (memory-level parallelism).
+        assert serial.cycles > 3 * parallel.cycles
+
+    def test_rob_limits_overlap(self):
+        config, _, array, hierarchy = make_system()
+        small_rob = config.with_core(rob_entries=8)
+        tb = TraceBuilder()
+        for i in range(200):
+            load = tb.load(array.addr_of(i * 256))
+            tb.compute(4, deps=[load])
+        constrained = OutOfOrderCore(small_rob.core, hierarchy).run(tb.build())
+
+        _, _, array2, hierarchy2 = make_system()
+        tb = TraceBuilder()
+        for i in range(200):
+            load = tb.load(array2.addr_of(i * 256))
+            tb.compute(4, deps=[load])
+        wide = OutOfOrderCore(config.with_core(rob_entries=192).core, hierarchy2).run(tb.build())
+        assert constrained.cycles > wide.cycles
+
+
+class TestOpKinds:
+    def test_software_prefetch_does_not_stall(self):
+        config, _, array, hierarchy = make_system()
+        tb = TraceBuilder()
+        for i in range(100):
+            tb.software_prefetch(array.addr_of(i * 512))
+            tb.compute(2)
+        stats = run(config, hierarchy, tb.build())
+        assert stats.software_prefetches == 100
+        assert stats.cycles < 5000  # never waits for the prefetched data
+
+    def test_software_prefetch_fills_cache(self):
+        config, _, array, hierarchy = make_system()
+        tb = TraceBuilder()
+        tb.software_prefetch(array.addr_of(4096))
+        tb.compute(500)
+        tb.load(array.addr_of(4096))
+        run(config, hierarchy, tb.build())
+        assert hierarchy.l1.stats.prefetch_fills == 1
+        assert hierarchy.l1.stats.prefetch_used == 1
+
+    def test_stores_do_not_stall_retirement(self):
+        config, _, array, hierarchy = make_system()
+        tb = TraceBuilder()
+        for i in range(100):
+            tb.store(array.addr_of(i * 256))
+        stats = run(config, hierarchy, tb.build())
+        assert stats.stores == 100
+        assert stats.cycles < 1000
+
+    def test_branches_counted_and_mispredicts_charged(self):
+        config, _, _, hierarchy = make_system()
+        tb = TraceBuilder()
+        for _ in range(500):
+            tb.branch()
+        stats = run(config, hierarchy, tb.build())
+        assert stats.branches == 500
+        assert stats.branch_mispredicts == pytest.approx(
+            500 * config.core.branch_mispredict_rate, rel=0.2
+        )
+
+    def test_stats_dictionary(self):
+        config, _, array, hierarchy = make_system()
+        tb = TraceBuilder()
+        tb.load(array.addr_of(0))
+        stats = run(config, hierarchy, tb.build())
+        as_dict = stats.as_dict()
+        assert as_dict["loads"] == 1
+        assert as_dict["ipc"] > 0

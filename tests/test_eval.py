@@ -1,0 +1,108 @@
+"""Tests for the evaluation harness (figures, tables, report rendering)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.eval.figure7 import format_figure7, run_figure7
+from repro.eval.figure8 import format_figure8, run_figure8
+from repro.eval.figure9 import format_figure9, run_figure9
+from repro.eval.figure10 import format_figure10, run_figure10
+from repro.eval.figure11 import format_figure11, run_figure11
+from repro.eval.memtraffic import format_memtraffic, run_memtraffic
+from repro.eval.report import render_markdown, run_report
+from repro.eval.table1 import format_table1, run_table1
+from repro.eval.table2 import format_table2, run_table2
+from repro.sim import PrefetchMode, run_comparison
+from repro.sim.modes import FIGURE7_MODES
+
+WORKLOAD_SUBSET = ["intsort", "randacc"]
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """One shared tiny comparison reused by the figure tests."""
+
+    modes = list(FIGURE7_MODES) + [PrefetchMode.MANUAL_BLOCKED]
+    return run_comparison(WORKLOAD_SUBSET, modes, config=SystemConfig.scaled(), scale="tiny")
+
+
+class TestTables:
+    def test_table1_groups(self):
+        table = run_table1()
+        assert set(table) == {"Main Core", "Memory & OS", "Prefetcher"}
+        text = format_table1(table)
+        assert "PPUs" in text and "L1 cache" in text
+
+    def test_table1_reflects_config(self):
+        table = run_table1(SystemConfig.paper())
+        assert "32 KB" in table["Memory & OS"]["L1 cache"]
+
+    def test_table2_rows(self):
+        rows = run_table2(workloads=WORKLOAD_SUBSET)
+        assert len(rows) == 2
+        assert rows[0]["name"] == "intsort"
+        assert "Stride-indirect" in format_table2(rows)
+
+
+class TestFigures:
+    def test_figure7_speedups_and_overhead(self, comparison):
+        data = run_figure7(workloads=WORKLOAD_SUBSET, comparison=comparison)
+        assert set(data.speedups) == set(WORKLOAD_SUBSET)
+        manual = data.speedups["intsort"][PrefetchMode.MANUAL.value]
+        assert manual is not None and manual > 1.0
+        assert data.geomean(PrefetchMode.MANUAL) > 1.0
+        assert "intsort" in data.software_overhead
+        text = format_figure7(data)
+        assert "geomean" in text and "intsort" in text
+
+    def test_figure8_rates(self, comparison):
+        data = run_figure8(workloads=WORKLOAD_SUBSET, comparison=comparison)
+        for name in WORKLOAD_SUBSET:
+            assert 0 <= data.utilisation[name] <= 1
+            before, after = data.hit_rates[name]
+            assert after >= before
+        assert "utilisation" in format_figure8(data)
+
+    def test_figure10_activity(self, comparison):
+        data = run_figure10(workloads=WORKLOAD_SUBSET, comparison=comparison)
+        summary = data.summary("intsort")
+        assert summary["max"] >= summary["median"] >= summary["min"]
+        assert data.unused_ppus("intsort") >= 0
+        assert "median" in format_figure10(data)
+
+    def test_figure11_blocked_vs_events(self, comparison):
+        data = run_figure11(workloads=WORKLOAD_SUBSET, comparison=comparison)
+        for name in WORKLOAD_SUBSET:
+            assert data.events[name] >= data.blocked[name] * 0.8
+        assert "events" in format_figure11(data)
+
+    def test_memtraffic(self, comparison):
+        data = run_memtraffic(workloads=WORKLOAD_SUBSET, comparison=comparison)
+        for name in WORKLOAD_SUBSET:
+            assert data.extra[name] < 0.5
+        assert "%" in format_memtraffic(data)
+
+    def test_figure9_sweeps_small(self):
+        data = run_figure9(
+            workloads=["randacc"],
+            scale="tiny",
+            frequencies=[0.5, 1.0],
+            counts=[3, 12],
+            count_sweep_workload="randacc",
+        )
+        assert set(data.frequency_sweeps["randacc"]) == {0.5, 1.0}
+        assert (3, 1.0) in data.count_sweep
+        assert "GHz" in format_figure9(data)
+
+
+class TestReport:
+    def test_run_report_and_render(self):
+        report = run_report(
+            workloads=WORKLOAD_SUBSET, scale="tiny", include_figure9=False
+        )
+        markdown = render_markdown(report)
+        assert "Figure 7" in markdown
+        assert "intsort" in markdown
+        console = report.format_console()
+        assert "Table 1" in console
+        assert report.figure7.geomean(PrefetchMode.MANUAL) > 0

@@ -1,0 +1,164 @@
+"""Tests for the PPU kernel ISA, builder and interpreter."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.programmable.interpreter import (
+    MAX_DYNAMIC_INSTRUCTIONS,
+    KernelContext,
+    execute_kernel,
+)
+from repro.programmable.kernel import (
+    NUM_LOCAL_REGISTERS,
+    KernelBuilder,
+    Opcode,
+    total_code_bytes,
+)
+
+
+def context(vaddr=0x1000, line=None, globals_=(), lookahead=lambda s: 4):
+    line_base = vaddr - (vaddr % 64)
+    return KernelContext(
+        vaddr=vaddr,
+        line_base=line_base,
+        line_words=line,
+        global_registers=list(globals_),
+        lookahead=lookahead,
+    )
+
+
+class TestBuilder:
+    def test_auto_halt_appended(self):
+        k = KernelBuilder("k")
+        k.imm(1)
+        program = k.build()
+        assert program.instructions[-1].opcode == Opcode.HALT
+
+    def test_register_exhaustion_raises(self):
+        k = KernelBuilder("k")
+        with pytest.raises(KernelError):
+            for _ in range(NUM_LOCAL_REGISTERS + 1):
+                k.imm(0)
+
+    def test_register_reuse_via_dst(self):
+        k = KernelBuilder("k")
+        counter = k.imm(0)
+        k.add(counter, 1, dst=counter)
+        program = k.build()
+        # Only one register was allocated.
+        assert max(i.dst for i in program.instructions) == 0
+
+    def test_undefined_label_raises(self):
+        k = KernelBuilder("k")
+        k.jump("nowhere")
+        with pytest.raises(KernelError):
+            k.build()
+
+    def test_duplicate_label_raises(self):
+        k = KernelBuilder("k")
+        k.label("here")
+        with pytest.raises(KernelError):
+            k.label("here")
+
+    def test_code_size_accounting(self):
+        k = KernelBuilder("k")
+        k.prefetch(k.get_vaddr())
+        program = k.build()
+        assert program.size_bytes == len(program) * 4
+        assert total_code_bytes([program, program]) == 2 * program.size_bytes
+
+    def test_empty_kernel_rejected(self):
+        from repro.programmable.kernel import KernelProgram
+
+        with pytest.raises(KernelError):
+            KernelProgram("empty", ()).validate()
+
+
+class TestInterpreterArithmetic:
+    def test_figure4_style_kernel(self):
+        # on_A_prefetch: fetch = base_B + data * 8
+        k = KernelBuilder("on_A_prefetch")
+        data = k.get_data()
+        addr = k.add(k.get_global(0), k.shl(data, 3))
+        k.prefetch(addr)
+        program = k.build()
+        line = [11, 22, 33, 44, 55, 66, 77, 88]
+        ctx = context(vaddr=0x1000 + 2 * 8, line=line, globals_=[0x8000])
+        result = execute_kernel(program, ctx)
+        assert result.prefetches == [(0x8000 + 33 * 8, -1)]
+        assert not result.aborted
+
+    def test_lookahead_used_in_address(self):
+        k = KernelBuilder("on_load")
+        base = k.get_global(0)
+        index = k.shr(k.sub(k.get_vaddr(), base), 3)
+        target = k.add(base, k.shl(k.add(index, k.get_lookahead(0)), 3))
+        k.prefetch(target, tag=3)
+        program = k.build()
+        ctx = context(vaddr=0x8000 + 5 * 8, globals_=[0x8000], lookahead=lambda s: 7)
+        result = execute_kernel(program, ctx)
+        assert result.prefetches == [(0x8000 + 12 * 8, 3)]
+
+    def test_masking_and_multiplication(self):
+        k = KernelBuilder("hash")
+        hashed = k.and_(k.mul(k.get_data(), 2654435761), 0xFFF)
+        k.prefetch(k.add(k.get_global(0), k.shl(hashed, 4)))
+        ctx = context(vaddr=0x1000, line=[99] * 8, globals_=[0x4000])
+        result = execute_kernel(k.build(), ctx)
+        expected = 0x4000 + ((99 * 2654435761) & 0xFFF) * 16
+        assert result.prefetch_addresses == [expected]
+
+    def test_branching_loop_generates_bounded_prefetches(self):
+        k = KernelBuilder("walk")
+        cursor = k.get_vaddr()
+        count = k.imm(0)
+        k.label("top")
+        k.prefetch(cursor)
+        k.add(cursor, 64, dst=cursor)
+        k.add(count, 1, dst=count)
+        k.branch_lt(count, k.imm(4), "top")
+        result = execute_kernel(k.build(), context(vaddr=0x2000))
+        assert len(result.prefetches) == 4
+        assert result.prefetch_addresses == [0x2000, 0x2040, 0x2080, 0x20C0]
+
+    def test_line_word_access(self):
+        k = KernelBuilder("line")
+        k.prefetch(k.line_word(5))
+        result = execute_kernel(k.build(), context(line=[0, 1, 2, 3, 4, 500, 6, 7]))
+        assert result.prefetch_addresses == [500]
+
+
+class TestInterpreterFaults:
+    def test_get_data_without_line_aborts(self):
+        k = KernelBuilder("k")
+        k.prefetch(k.get_data())
+        result = execute_kernel(k.build(), context(line=None))
+        assert result.aborted
+        assert result.prefetches == []
+
+    def test_line_word_out_of_range_aborts(self):
+        k = KernelBuilder("k")
+        k.prefetch(k.line_word(12))
+        result = execute_kernel(k.build(), context(line=[0] * 8))
+        assert result.aborted
+
+    def test_global_out_of_range_aborts(self):
+        k = KernelBuilder("k")
+        k.prefetch(k.get_global(9))
+        result = execute_kernel(k.build(), context(globals_=[1, 2]))
+        assert result.aborted
+
+    def test_runaway_loop_terminated(self):
+        k = KernelBuilder("spin")
+        k.label("top")
+        k.jump("top")
+        result = execute_kernel(k.build(), context())
+        assert result.aborted
+        assert result.instructions_executed >= MAX_DYNAMIC_INSTRUCTIONS
+
+    def test_instruction_count_reported(self):
+        k = KernelBuilder("count")
+        k.prefetch(k.add(k.imm(1), k.imm(2)))
+        result = execute_kernel(k.build(), context())
+        # LI, LI, ADD, PREFETCH, HALT
+        assert result.instructions_executed == 5

@@ -1,0 +1,80 @@
+"""Tests for the dynamic trace representation and builder."""
+
+import pytest
+
+from repro.cpu.trace import OpKind, Trace, TraceBuilder, TraceOp
+from repro.errors import TraceError
+
+
+class TestTraceBuilder:
+    def test_ops_get_increasing_indices(self):
+        tb = TraceBuilder()
+        first = tb.load(0x1000)
+        second = tb.compute(2, deps=[first])
+        third = tb.store(0x2000, deps=[second])
+        assert (first, second, third) == (0, 1, 2)
+
+    def test_forward_dependence_rejected(self):
+        tb = TraceBuilder()
+        with pytest.raises(TraceError):
+            tb.load(0x1000, deps=[5])
+
+    def test_zero_length_compute_rejected(self):
+        tb = TraceBuilder()
+        with pytest.raises(TraceError):
+            tb.compute(0)
+
+    def test_build_produces_trace(self):
+        tb = TraceBuilder()
+        tb.load(0x1000)
+        tb.software_prefetch(0x2000)
+        tb.branch()
+        trace = tb.build()
+        assert isinstance(trace, Trace)
+        assert len(trace) == 3
+
+    def test_len_tracks_ops(self):
+        tb = TraceBuilder()
+        assert len(tb) == 0
+        tb.load(0)
+        assert len(tb) == 1
+
+
+class TestTrace:
+    def _sample(self) -> Trace:
+        tb = TraceBuilder()
+        a = tb.load(0x1000)
+        tb.compute(3, deps=[a])
+        tb.store(0x2000, deps=[a])
+        tb.software_prefetch(0x3000)
+        tb.branch()
+        return tb.build()
+
+    def test_instruction_count_includes_compute_blocks(self):
+        assert self._sample().instruction_count() == 1 + 3 + 1 + 1 + 1
+
+    def test_kind_counters(self):
+        trace = self._sample()
+        assert trace.count_kind(OpKind.LOAD) == 1
+        assert trace.count_kind(OpKind.STORE) == 1
+        assert trace.count_kind(OpKind.SOFTWARE_PREFETCH) == 1
+        assert trace.memory_op_count() == 2
+
+    def test_summary(self):
+        summary = self._sample().summary()
+        assert summary["ops"] == 5
+        assert summary["loads"] == 1
+        assert summary["branches"] == 1
+
+    def test_validate_accepts_good_trace(self):
+        self._sample().validate()
+
+    def test_validate_rejects_bad_dependence(self):
+        trace = Trace([TraceOp(OpKind.LOAD, addr=0, deps=(3,))])
+        with pytest.raises(TraceError):
+            trace.validate()
+
+    def test_indexing_and_iteration(self):
+        trace = self._sample()
+        assert trace[0].kind == OpKind.LOAD
+        assert len(list(trace)) == len(trace)

@@ -1,0 +1,173 @@
+"""Tests for the workload framework, data generators and the eight benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import OpKind
+from repro.errors import WorkloadError
+from repro.workloads import WORKLOAD_ORDER, WORKLOADS, build_workload
+from repro.workloads.base import WorkloadScale
+from repro.workloads.data.distributions import random_keys, random_permutation, zipf_keys
+from repro.workloads.data.rmat import edges_to_csr, generate_rmat_csr, generate_rmat_edges
+
+
+class TestDataGenerators:
+    def test_rmat_edge_count(self):
+        sources, destinations = generate_rmat_edges(8, 4, seed=1)
+        assert sources.size == destinations.size == 4 * 256
+        assert sources.max() < 256 and destinations.max() < 256
+
+    def test_rmat_reproducible(self):
+        first = generate_rmat_edges(8, 4, seed=9)
+        second = generate_rmat_edges(8, 4, seed=9)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+
+    def test_rmat_degree_skew(self):
+        graph = generate_rmat_csr(10, 8, seed=2)
+        degrees = np.diff(graph.row_offsets)
+        assert degrees.max() > 8 * np.median(np.maximum(degrees, 1))
+
+    def test_csr_structure_consistent(self):
+        graph = generate_rmat_csr(8, 4, seed=3)
+        assert graph.row_offsets[0] == 0
+        assert graph.row_offsets[-1] == graph.num_edges
+        assert np.all(np.diff(graph.row_offsets) >= 0)
+        assert graph.columns.size == graph.num_edges
+        for vertex in (0, 5, graph.num_vertices - 1):
+            assert graph.out_degree(vertex) == len(graph.neighbours(vertex))
+
+    def test_csr_drops_self_loops(self):
+        sources = np.array([1, 2, 3], dtype=np.int64)
+        destinations = np.array([1, 3, 2], dtype=np.int64)
+        graph = edges_to_csr(4, sources, destinations)
+        assert graph.num_edges == 2
+
+    def test_random_keys_bounds(self):
+        keys = random_keys(1000, 64, seed=5)
+        assert keys.min() >= 0 and keys.max() < 64
+
+    def test_random_permutation_is_permutation(self):
+        perm = random_permutation(128, seed=6)
+        assert sorted(perm.tolist()) == list(range(128))
+
+    def test_zipf_keys_skewed(self):
+        keys = zipf_keys(5000, 1000, seed=7)
+        counts = np.bincount(keys, minlength=1000)
+        assert counts[0] > counts[500]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            random_keys(0, 10)
+        with pytest.raises(ValueError):
+            generate_rmat_edges(0, 4)
+        with pytest.raises(ValueError):
+            zipf_keys(10, 10, exponent=1.0)
+
+
+class TestWorkloadScale:
+    def test_known_scales(self):
+        assert WorkloadScale.from_name("tiny").factor < WorkloadScale.from_name("default").factor
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadScale.from_name("enormous")
+
+    def test_scaled_respects_minimum(self):
+        assert WorkloadScale.from_name("tiny").scaled(100, minimum=64) == 64
+
+
+class TestRegistry:
+    def test_registry_matches_order(self):
+        assert set(WORKLOAD_ORDER) == set(WORKLOADS)
+        assert len(WORKLOAD_ORDER) == 8
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            build_workload("nonexistent")
+
+
+class TestEachWorkload:
+    def test_builds_and_describes(self, tiny_workloads, each_workload_name):
+        workload = tiny_workloads.get(each_workload_name)
+        description = workload.description()
+        assert description["name"] == each_workload_name
+        assert description["pattern"]
+        assert workload.space.mapped_bytes > 0
+
+    def test_plain_trace_valid_and_nontrivial(self, tiny_workloads, each_workload_name):
+        workload = tiny_workloads.get(each_workload_name)
+        trace = workload.trace("plain")
+        trace.validate()
+        assert trace.count_kind(OpKind.LOAD) > 50
+        assert trace.count_kind(OpKind.SOFTWARE_PREFETCH) == 0
+
+    def test_plain_trace_is_cached(self, tiny_workloads, each_workload_name):
+        workload = tiny_workloads.get(each_workload_name)
+        assert workload.trace("plain") is workload.trace("plain")
+
+    def test_software_trace_adds_prefetches_or_is_unavailable(
+        self, tiny_workloads, each_workload_name
+    ):
+        workload = tiny_workloads.get(each_workload_name)
+        if not workload.supports_software_prefetch():
+            with pytest.raises(WorkloadError):
+                workload.trace("software")
+            return
+        software = workload.trace("software")
+        plain = workload.trace("plain")
+        assert software.count_kind(OpKind.SOFTWARE_PREFETCH) > 0
+        assert software.instruction_count() > plain.instruction_count()
+
+    def test_manual_configuration_valid(self, tiny_workloads, each_workload_name):
+        workload = tiny_workloads.get(each_workload_name)
+        config = workload.manual_configuration()
+        config.validate()
+        assert config.kernels
+        assert any(r.load_kernel for r in config.ranges)
+        # Kernel code must fit comfortably in the shared PPU instruction cache.
+        assert config.code_footprint_bytes() <= 4096
+
+    def test_trace_addresses_are_mapped(self, tiny_workloads, each_workload_name):
+        workload = tiny_workloads.get(each_workload_name)
+        trace = workload.trace("plain")
+        for op in list(trace)[:500]:
+            if op.kind in (OpKind.LOAD, OpKind.STORE):
+                assert workload.space.is_mapped(op.addr)
+
+    def test_unknown_variant_rejected(self, tiny_workloads):
+        with pytest.raises(WorkloadError):
+            tiny_workloads.get("intsort").trace("mystery")
+
+
+class TestWorkloadSpecifics:
+    def test_pagerank_has_no_software_mode(self, tiny_workloads):
+        assert not tiny_workloads.get("pagerank").supports_software_prefetch()
+
+    def test_hj8_trace_walks_chains(self, tiny_workloads):
+        workload = tiny_workloads.get("hj8")
+        trace = workload.trace("plain")
+        # More loads than 3 per probe implies at least some chain walking.
+        assert trace.count_kind(OpKind.LOAD) > 3 * workload.num_probes
+
+    def test_g500_csr_queue_contents_written(self, tiny_workloads):
+        workload = tiny_workloads.get("g500-csr")
+        workload.trace("plain")
+        # The BFS queue must contain the traversal order for the prefetcher to read.
+        values = workload.queue.to_list()
+        assert values[0] == workload._root
+        assert any(v != 0 for v in values[1:10])
+
+    def test_g500_list_nodes_linked(self, tiny_workloads):
+        workload = tiny_workloads.get("g500-list")
+        head = next(v for v in workload.heads.to_list() if v != 0)
+        assert workload.space.is_mapped(head)
+
+    def test_randacc_table_is_power_of_two(self, tiny_workloads):
+        workload = tiny_workloads.get("randacc")
+        assert workload.table_entries & (workload.table_entries - 1) == 0
+        assert workload.table_mask == workload.table_entries - 1
+
+    def test_intsort_counts_match_key_space(self, tiny_workloads):
+        workload = tiny_workloads.get("intsort")
+        assert len(workload.counts) == workload.key_space
