@@ -1,0 +1,8 @@
+"""Timed figure regenerations (pytest-benchmark harness).
+
+This package marker lets pytest import the ``bench_*`` modules (which use
+relative imports against :mod:`benchmarks.conftest`) when they are invoked by
+explicit path, e.g.::
+
+    REPRO_BENCH_SCALE=small pytest benchmarks/bench_figure7.py --benchmark-only
+"""

@@ -8,19 +8,26 @@ observation-queue size — on one stride-hash-indirect workload.
 import pytest
 
 from repro.programmable.scheduler import RoundRobinPolicy
-from repro.sim import PrefetchMode, simulate
+from repro.sim import PrefetchMode, SimRequest, simulate
+
+from .conftest import BENCH_SCALE
 
 
 @pytest.fixture(scope="module")
-def ablation_setup(bench_workloads, bench_config):
+def ablation_setup(bench_engine, bench_workloads, bench_config):
     workload = bench_workloads.get("randacc") or next(iter(bench_workloads.values()))
-    baseline = simulate(workload, PrefetchMode.NONE, bench_config)
+    # Through the session engine: deduplicated with the Figure 7 baselines.
+    baseline = bench_engine.simulate(
+        SimRequest(workload.name, PrefetchMode.NONE, scale=BENCH_SCALE, config=bench_config)
+    )
     return workload, baseline
 
 
-def test_scheduling_policy_does_not_change_performance(benchmark, ablation_setup, bench_config):
+def test_scheduling_policy_does_not_change_performance(benchmark, ablation_setup, bench_engine, bench_config):
     workload, baseline = ablation_setup
-    lowest = simulate(workload, PrefetchMode.MANUAL, bench_config)
+    lowest = bench_engine.simulate(
+        SimRequest(workload.name, PrefetchMode.MANUAL, scale=BENCH_SCALE, config=bench_config)
+    )
     round_robin = benchmark(
         lambda: simulate(workload, PrefetchMode.MANUAL, bench_config, policy=RoundRobinPolicy())
     )
@@ -33,9 +40,11 @@ def test_scheduling_policy_does_not_change_performance(benchmark, ablation_setup
     assert round_robin.cycles == pytest.approx(lowest.cycles, rel=0.1)
 
 
-def test_tiny_observation_queue_degrades_gracefully(benchmark, ablation_setup, bench_config):
+def test_tiny_observation_queue_degrades_gracefully(benchmark, ablation_setup, bench_engine, bench_config):
     workload, baseline = ablation_setup
-    full = simulate(workload, PrefetchMode.MANUAL, bench_config)
+    full = bench_engine.simulate(
+        SimRequest(workload.name, PrefetchMode.MANUAL, scale=BENCH_SCALE, config=bench_config)
+    )
     starved_config = bench_config.with_prefetcher(observation_queue_entries=2, prefetch_queue_entries=4)
     starved = benchmark(lambda: simulate(workload, PrefetchMode.MANUAL, starved_config))
     print(

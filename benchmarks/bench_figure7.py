@@ -2,8 +2,9 @@
 
 The timed body is one representative simulation (the manual programmable
 prefetcher on RandomAccess); the full cross-product of workloads × schemes is
-computed once per session by the ``bench_comparison`` fixture and rendered
-here so the benchmark output shows the reproduced figure.
+computed once per session by the ``bench_comparison`` fixture — a single
+deduplicated batch-engine plan — and rendered here so the benchmark output
+shows the reproduced figure.
 """
 
 from repro.eval.figure7 import format_figure7, run_figure7

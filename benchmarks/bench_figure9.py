@@ -2,7 +2,9 @@
 
 The full sweep is expensive (dozens of simulations); the swept frequencies and
 PPU counts are trimmed at the ``small`` benchmark scale and complete at
-``REPRO_BENCH_SCALE=default``.
+``REPRO_BENCH_SCALE=default``.  The sweep is declared as one batch-engine
+plan, so the no-prefetch references are shared with the session's Figure 7
+comparison instead of being re-simulated.
 """
 
 from repro.eval.figure9 import format_figure9, run_figure9
@@ -11,7 +13,7 @@ from repro.sim.sweeps import ppu_frequency_sweep
 from .conftest import BENCH_SCALE, BENCH_WORKLOADS
 
 
-def test_figure9_ppu_scaling(benchmark, bench_workloads, bench_config):
+def test_figure9_ppu_scaling(benchmark, bench_engine, bench_workloads, bench_config):
     sweep_names = [n for n in ("randacc", "g500-csr") if n in BENCH_WORKLOADS] or BENCH_WORKLOADS[:1]
     frequencies = [0.25, 0.5, 1.0, 2.0] if BENCH_SCALE == "default" else [0.5, 1.0]
     counts = [3, 6, 12] if BENCH_SCALE == "default" else [3, 12]
@@ -26,7 +28,7 @@ def test_figure9_ppu_scaling(benchmark, bench_workloads, bench_config):
         frequencies=frequencies,
         counts=counts,
         count_sweep_workload=sweep_names[-1],
-        prebuilt=bench_workloads,
+        engine=bench_engine,
     )
     print()
     print(format_figure9(data))

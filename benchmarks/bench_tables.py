@@ -13,8 +13,10 @@ def test_table1_configuration(benchmark, bench_config):
     assert "PPUs" in table["Prefetcher"]
 
 
-def test_table2_benchmarks(benchmark):
-    rows = benchmark(lambda: run_table2(workloads=BENCH_WORKLOADS, scale=BENCH_SCALE))
+def test_table2_benchmarks(benchmark, bench_workloads):
+    rows = benchmark(
+        lambda: run_table2(workloads=BENCH_WORKLOADS, scale=BENCH_SCALE, prebuilt=bench_workloads)
+    )
     print()
     print(format_table2(rows))
     assert len(rows) == len(BENCH_WORKLOADS)

@@ -6,9 +6,12 @@ paper.  The workload scale is controlled with ``REPRO_BENCH_SCALE``
 ``pytest benchmarks/ --benchmark-only`` finishes in a few minutes, while
 ``default`` reproduces the numbers recorded in EXPERIMENTS.md.
 
-The heavyweight simulations are shared across benchmarks through a
-session-scoped comparison fixture so each figure's benchmark times only its
-own analysis plus a representative simulation.
+The heavyweight simulations all flow through one session-scoped batch
+engine: the Figure 7 comparison (plus the blocking ablation) is declared as
+a single deduplicated plan, and every later figure reads results back out of
+the engine's memo, so each benchmark times only its own analysis plus a
+representative simulation.  Set ``REPRO_BENCH_JOBS=N`` (N > 1) to execute
+the plan across processes instead of serially.
 """
 
 from __future__ import annotations
@@ -24,7 +27,13 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.config import SystemConfig  # noqa: E402
-from repro.sim import PrefetchMode, run_comparison  # noqa: E402
+from repro.sim import (  # noqa: E402
+    MultiprocessRunner,
+    PrefetchMode,
+    SerialRunner,
+    SimEngine,
+    run_comparison,
+)
 from repro.sim.modes import FIGURE7_MODES  # noqa: E402
 from repro.workloads import WORKLOAD_ORDER, build_workload  # noqa: E402
 
@@ -37,6 +46,9 @@ BENCH_WORKLOADS = [
     for name in os.environ.get("REPRO_BENCH_WORKLOADS", ",".join(WORKLOAD_ORDER)).split(",")
     if name
 ]
+
+#: Worker processes for plan execution (1 = serial, in-process).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")
@@ -52,7 +64,18 @@ def bench_workloads():
 
 
 @pytest.fixture(scope="session")
-def bench_comparison(bench_config, bench_workloads):
+def bench_engine(bench_workloads) -> SimEngine:
+    """One batch engine for the session: shared memo, optional parallelism."""
+
+    if BENCH_JOBS > 1:
+        runner = MultiprocessRunner(BENCH_JOBS)
+    else:
+        runner = SerialRunner(workloads=bench_workloads)
+    return SimEngine(runner=runner)
+
+
+@pytest.fixture(scope="session")
+def bench_comparison(bench_engine, bench_workloads, bench_config):
     """The full Figure 7 comparison (plus the blocking ablation), run once."""
 
     modes = list(FIGURE7_MODES) + [PrefetchMode.MANUAL_BLOCKED]
@@ -61,5 +84,5 @@ def bench_comparison(bench_config, bench_workloads):
         modes,
         config=bench_config,
         scale=BENCH_SCALE,
-        workloads=bench_workloads,
+        engine=bench_engine,
     )

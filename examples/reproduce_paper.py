@@ -6,15 +6,21 @@ memory-traffic analysis, plus Tables 1 and 2 — and prints the resulting
 tables.  The Figure 9 sweeps are included with ``--figure9`` (they simulate
 dozens of extra configurations, so they are optional for quick runs).
 
+All simulations are declared as one shared batch-engine plan, so common
+points (every figure's no-prefetch baselines, the Figure 9 reference runs)
+are simulated exactly once.  ``--parallel`` farms the plan across CPU cores
+and ``--cache DIR`` persists results so a repeated run simulates nothing.
+
 Usage::
 
     python examples/reproduce_paper.py --scale small
-    python examples/reproduce_paper.py --scale default --figure9 --write-experiments
+    python examples/reproduce_paper.py --scale default --figure9 --parallel \\
+        --cache .sim-cache --write-experiments
 """
 
 import argparse
 
-from repro.eval.report import run_report, render_markdown, write_markdown
+from repro.eval.report import build_engine, run_report, render_markdown, write_markdown
 
 
 def main() -> None:
@@ -25,17 +31,38 @@ def main() -> None:
                         help="also run the PPU frequency/count sweeps (slow)")
     parser.add_argument("--workloads", nargs="*", default=None,
                         help="subset of workloads to run (default: all eight)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="execute the simulation plan across CPU cores")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (implies --parallel; default: all cores)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="persistent result-cache directory (warm reruns simulate nothing)")
     parser.add_argument("--write-experiments", metavar="PATH", nargs="?",
                         const="EXPERIMENTS.md", default=None,
                         help="write the Markdown report to PATH (default EXPERIMENTS.md)")
     args = parser.parse_args()
 
+    parallel = args.parallel or args.jobs is not None
+    engine = build_engine(parallel=parallel, workers=args.jobs, cache_dir=args.cache)
     report = run_report(
         workloads=args.workloads,
         scale=args.scale,
         include_figure9=args.figure9,
+        engine=engine,
     )
     print(report.format_console())
+
+    stats = report.engine_stats
+    if stats is not None:
+        print()
+        print("Batch-engine statistics for the shared plan:")
+        print(f"  submitted:        {stats.submitted}")
+        print(f"  unique points:    {stats.unique}")
+        print(f"  deduplicated:     {stats.deduplicated}")
+        print(f"  cache hits:       {stats.cache_hits}")
+        print(f"  simulated:        {stats.executed} ({stats.unavailable} unavailable)")
+        print(f"  runner:           {stats.runner}")
+
     if args.write_experiments:
         write_markdown(report, args.write_experiments)
         print(f"\nWrote {args.write_experiments}")

@@ -55,6 +55,14 @@ class SimulationError(ReproError):
     """The simulation reached an inconsistent state."""
 
 
+class DuplicateResultError(ReproError):
+    """Two simulation results were recorded for the same (workload, mode) key.
+
+    Raised by :meth:`repro.sim.comparison.ComparisonResult.add` so that a
+    mis-built plan cannot silently overwrite a prior measurement.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload was asked for something it cannot provide.
 

@@ -7,6 +7,7 @@ from typing import Iterable, Optional
 
 from ..config import SystemConfig
 from ..sim.comparison import ComparisonResult, run_comparison
+from ..sim.engine import SimEngine
 from ..sim.modes import PrefetchMode
 from ..workloads import WORKLOAD_ORDER
 
@@ -54,11 +55,13 @@ def run_figure10(
     scale: str = "default",
     seed: int = 42,
     comparison: Optional[ComparisonResult] = None,
+    engine: Optional[SimEngine] = None,
 ) -> Figure10Data:
     names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
     if comparison is None:
         comparison = run_comparison(
-            names, [PrefetchMode.MANUAL], config=config, scale=scale, seed=seed
+            names, [PrefetchMode.MANUAL], config=config, scale=scale, seed=seed,
+            engine=engine,
         )
     data = Figure10Data()
     for name in names:

@@ -7,6 +7,7 @@ from typing import Iterable, Optional
 
 from ..config import SystemConfig
 from ..sim.comparison import ComparisonResult, run_comparison
+from ..sim.engine import SimEngine
 from ..sim.modes import PrefetchMode
 from ..workloads import WORKLOAD_ORDER
 
@@ -26,6 +27,7 @@ def run_figure11(
     scale: str = "default",
     seed: int = 42,
     comparison: Optional[ComparisonResult] = None,
+    engine: Optional[SimEngine] = None,
 ) -> Figure11Data:
     names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
     if comparison is None:
@@ -35,6 +37,7 @@ def run_figure11(
             config=config,
             scale=scale,
             seed=seed,
+            engine=engine,
         )
     data = Figure11Data()
     for name in names:

@@ -7,6 +7,7 @@ from typing import Iterable, Optional
 
 from ..config import SystemConfig
 from ..sim.comparison import ComparisonResult, run_comparison
+from ..sim.engine import SimEngine
 from ..sim.modes import FIGURE7_MODES, PrefetchMode
 from ..sim.results import geometric_mean
 from ..workloads import WORKLOAD_ORDER
@@ -37,13 +38,18 @@ def run_figure7(
     scale: str = "default",
     seed: int = 42,
     comparison: Optional[ComparisonResult] = None,
+    engine: Optional[SimEngine] = None,
 ) -> Figure7Data:
-    """Reproduce Figure 7 (and the Section 7.1 instruction-overhead numbers)."""
+    """Reproduce Figure 7 (and the Section 7.1 instruction-overhead numbers).
+
+    Pass a shared ``engine`` so the plan's simulations are deduplicated (and
+    optionally parallelised/cached) with those of the other figures.
+    """
 
     names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
     if comparison is None:
         comparison = run_comparison(
-            names, FIGURE7_MODES, config=config, scale=scale, seed=seed
+            names, FIGURE7_MODES, config=config, scale=scale, seed=seed, engine=engine
         )
 
     data = Figure7Data(comparison=comparison)

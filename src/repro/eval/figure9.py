@@ -1,4 +1,13 @@
-"""Figure 9: PPU clock-frequency and PPU-count scaling."""
+"""Figure 9: PPU clock-frequency and PPU-count scaling.
+
+The whole figure — per-benchmark frequency sweeps, the count × clock sweep,
+and the shared no-prefetch references — is declared as one
+:class:`~repro.sim.engine.SimPlan` and executed in a single engine run, so
+the count-sweep workload's baseline is simulated once (not once per sweep)
+and a parallel runner can spread every swept point across cores.
+:func:`figure9_plan` exposes the plan so the full-report driver can merge it
+with the Figure 7 comparison plan and execute everything together.
+"""
 
 from __future__ import annotations
 
@@ -6,15 +15,17 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..config import SystemConfig
+from ..sim.engine import SimEngine, SimPlan, SimRequest, SerialRunner
 from ..sim.results import geometric_mean
 from ..sim.sweeps import (
     FIGURE9A_FREQUENCIES,
     FIGURE9B_COUNTS,
     FIGURE9B_FREQUENCIES,
-    ppu_count_frequency_sweep,
-    ppu_frequency_sweep,
+    baseline_request,
+    count_frequency_sweep_requests,
+    frequency_sweep_requests,
 )
-from ..workloads import WORKLOAD_ORDER, build_workload
+from ..workloads import WORKLOAD_ORDER
 from ..workloads.base import Workload
 
 
@@ -35,6 +46,68 @@ class Figure9Data:
         return geometric_mean(values)
 
 
+@dataclass
+class _Figure9Requests:
+    """The declared requests, kept so results can be read back off a batch."""
+
+    plan: SimPlan
+    baselines: dict[str, SimRequest]
+    frequency_points: dict[str, dict[float, SimRequest]]
+    count_points: dict[tuple[int, float], SimRequest]
+
+
+def figure9_plan(
+    *,
+    workloads: Optional[Iterable[str]] = None,
+    config: Optional[SystemConfig] = None,
+    scale: str = "default",
+    seed: int = 42,
+    frequencies: Optional[Iterable[float]] = None,
+    counts: Optional[Iterable[int]] = None,
+    count_sweep_frequencies: Optional[Iterable[float]] = None,
+    count_sweep_workload: str = "g500-csr",
+) -> _Figure9Requests:
+    """Declare every Figure 9 simulation point as one deduplicated plan."""
+
+    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    system_config = config if config is not None else SystemConfig.scaled()
+    frequency_list = list(frequencies) if frequencies is not None else list(FIGURE9A_FREQUENCIES)
+    count_list = list(counts) if counts is not None else list(FIGURE9B_COUNTS)
+    count_frequency_list = (
+        list(count_sweep_frequencies)
+        if count_sweep_frequencies is not None
+        else list(FIGURE9B_FREQUENCIES)
+    )
+
+    plan = SimPlan()
+    baselines: dict[str, SimRequest] = {}
+    frequency_points: dict[str, dict[float, SimRequest]] = {}
+    for name in names:
+        baselines[name] = plan.add(
+            baseline_request(name, system_config, scale=scale, seed=seed)
+        )
+        points = frequency_sweep_requests(
+            name, frequency_list, system_config, scale=scale, seed=seed
+        )
+        frequency_points[name] = {f: plan.add(req) for f, req in points.items()}
+
+    baselines[count_sweep_workload] = plan.add(
+        baseline_request(count_sweep_workload, system_config, scale=scale, seed=seed)
+    )
+    count_points = {
+        key: plan.add(req)
+        for key, req in count_frequency_sweep_requests(
+            count_sweep_workload,
+            count_list,
+            count_frequency_list,
+            system_config,
+            scale=scale,
+            seed=seed,
+        ).items()
+    }
+    return _Figure9Requests(plan, baselines, frequency_points, count_points)
+
+
 def run_figure9(
     *,
     workloads: Optional[Iterable[str]] = None,
@@ -45,32 +118,36 @@ def run_figure9(
     counts: Optional[Iterable[int]] = None,
     count_sweep_workload: str = "g500-csr",
     prebuilt: Optional[dict[str, Workload]] = None,
+    engine: Optional[SimEngine] = None,
 ) -> Figure9Data:
-    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
-    frequency_list = list(frequencies) if frequencies is not None else list(FIGURE9A_FREQUENCIES)
-    count_list = list(counts) if counts is not None else list(FIGURE9B_COUNTS)
+    declared = figure9_plan(
+        workloads=workloads,
+        config=config,
+        scale=scale,
+        seed=seed,
+        frequencies=frequencies,
+        counts=counts,
+        count_sweep_frequencies=frequencies,
+        count_sweep_workload=count_sweep_workload,
+    )
+    if engine is None:
+        engine = SimEngine(runner=SerialRunner(workloads=prebuilt))
+    batch = engine.run(declared.plan)
 
     data = Figure9Data(count_sweep_workload=count_sweep_workload)
-    built: dict[str, Workload] = dict(prebuilt or {})
-
-    for name in names:
-        workload = built.get(name) or build_workload(name, scale=scale, seed=seed)
-        built[name] = workload
-        data.frequency_sweeps[name] = ppu_frequency_sweep(
-            workload, frequencies=frequency_list, config=config
-        )
-
-    sweep_workload = built.get(count_sweep_workload) or build_workload(
-        count_sweep_workload, scale=scale, seed=seed
-    )
-    data.count_sweep = ppu_count_frequency_sweep(
-        sweep_workload,
-        counts=count_list,
-        frequencies=frequency_list
-        if frequencies is not None
-        else list(FIGURE9B_FREQUENCIES),
-        config=config,
-    )
+    for name, points in declared.frequency_points.items():
+        reference = batch[declared.baselines[name]]
+        data.frequency_sweeps[name] = {
+            frequency: batch[request].speedup_over(reference)
+            for frequency, request in points.items()
+            if batch.get(request) is not None
+        }
+    count_reference = batch[declared.baselines[count_sweep_workload]]
+    data.count_sweep = {
+        key: batch[request].speedup_over(count_reference)
+        for key, request in declared.count_points.items()
+        if batch.get(request) is not None
+    }
     return data
 
 

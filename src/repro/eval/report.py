@@ -1,9 +1,12 @@
 """Run every experiment and render the EXPERIMENTS.md report.
 
-This is the top of the reproduction pipeline: it runs the Figure 7 comparison
-once, reuses those simulations for Figures 8, 10, 11 and the traffic analysis,
-runs the Figure 9 sweeps, and renders everything both as console tables and as
-a Markdown report recording paper-vs-measured values.
+This is the top of the reproduction pipeline: it declares every simulation
+the evaluation needs — the Figure 7 comparison (shared by Figures 8, 10, 11
+and the traffic analysis) plus the Figure 9 sweeps — as **one** deduplicated
+:class:`~repro.sim.engine.SimPlan`, executes it in a single engine run
+(serial or parallel, optionally against a persistent result cache), and
+renders everything both as console tables and as a Markdown report recording
+paper-vs-measured values.
 """
 
 from __future__ import annotations
@@ -12,13 +15,20 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..config import SystemConfig
-from ..sim.comparison import run_comparison
+from ..sim.comparison import comparison_plan, run_comparison
+from ..sim.engine import (
+    EngineStats,
+    MultiprocessRunner,
+    ResultCache,
+    SerialRunner,
+    SimEngine,
+)
 from ..sim.modes import FIGURE7_MODES, PrefetchMode
 from ..workloads import WORKLOAD_ORDER
 from . import paper_values
 from .figure7 import Figure7Data, format_figure7, run_figure7
 from .figure8 import Figure8Data, format_figure8, run_figure8
-from .figure9 import Figure9Data, format_figure9, run_figure9
+from .figure9 import Figure9Data, figure9_plan, format_figure9, run_figure9
 from .figure10 import Figure10Data, format_figure10, run_figure10
 from .figure11 import Figure11Data, format_figure11, run_figure11
 from .memtraffic import MemTrafficData, format_memtraffic, run_memtraffic
@@ -39,6 +49,9 @@ class ReproductionReport:
     table1: dict[str, dict[str, object]]
     table2: list[dict[str, str]]
     scale: str
+    #: Plan/execution statistics of the shared engine run (dedup, cache hits,
+    #: simulations executed, runner kind).
+    engine_stats: Optional[EngineStats] = None
 
     def format_console(self) -> str:
         sections = [
@@ -58,7 +71,22 @@ class ReproductionReport:
         ]
         if self.figure9 is not None:
             sections += ["", format_figure9(self.figure9)]
+        if self.engine_stats is not None:
+            sections += ["", f"Batch engine: {self.engine_stats.summary()}"]
         return "\n".join(sections)
+
+
+def build_engine(
+    *,
+    parallel: bool = False,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> SimEngine:
+    """Assemble an engine from the common driver knobs."""
+
+    runner = MultiprocessRunner(workers) if parallel else SerialRunner()
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return SimEngine(runner=runner, cache=cache)
 
 
 def run_report(
@@ -68,23 +96,48 @@ def run_report(
     scale: str = "default",
     seed: int = 42,
     include_figure9: bool = True,
+    engine: Optional[SimEngine] = None,
+    parallel: bool = False,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> ReproductionReport:
-    """Run the full experiment suite and return the collected report."""
+    """Run the full experiment suite and return the collected report.
+
+    Every simulation point of every figure is declared up front in one
+    deduplicated plan and executed in a single engine run; the per-figure
+    code then reads results back out of the engine's memo without simulating
+    anything further.
+    """
 
     names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
     system_config = config if config is not None else SystemConfig.scaled()
+    if engine is None:
+        engine = build_engine(parallel=parallel, workers=workers, cache_dir=cache_dir)
 
-    # One comparison drives Figures 7, 8, 10, 11 and the traffic analysis.
+    # One plan drives everything: the Figure 7 comparison modes (shared by
+    # Figures 8, 10, 11 and the traffic analysis) plus the Figure 9 sweeps.
     modes = list(FIGURE7_MODES) + [PrefetchMode.MANUAL_BLOCKED]
-    comparison = run_comparison(names, modes, config=system_config, scale=scale, seed=seed)
+    plan = comparison_plan(names, modes, config=system_config, scale=scale, seed=seed)
+    if include_figure9:
+        plan.merge(
+            figure9_plan(
+                workloads=names, config=system_config, scale=scale, seed=seed
+            ).plan
+        )
+    batch = engine.run(plan)
 
+    comparison = run_comparison(
+        names, modes, config=system_config, scale=scale, seed=seed, engine=engine
+    )
     figure7 = run_figure7(workloads=names, comparison=comparison)
     figure8 = run_figure8(workloads=names, comparison=comparison)
     figure10 = run_figure10(workloads=names, comparison=comparison)
     figure11 = run_figure11(workloads=names, comparison=comparison)
     memtraffic = run_memtraffic(workloads=names, comparison=comparison)
     figure9 = (
-        run_figure9(workloads=names, config=system_config, scale=scale, seed=seed)
+        run_figure9(
+            workloads=names, config=system_config, scale=scale, seed=seed, engine=engine
+        )
         if include_figure9
         else None
     )
@@ -99,6 +152,7 @@ def run_report(
         table1=run_table1(system_config),
         table2=run_table2(workloads=names, scale=scale),
         scale=scale,
+        engine_stats=batch.stats,
     )
 
 

@@ -2,20 +2,30 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Mapping, Optional
 
 from ..workloads import WORKLOAD_ORDER, WORKLOADS
+from ..workloads.base import Workload
 
 
 def run_table2(
-    *, workloads: Optional[Iterable[str]] = None, scale: str = "default"
+    *,
+    workloads: Optional[Iterable[str]] = None,
+    scale: str = "default",
+    prebuilt: Optional[Mapping[str, Workload]] = None,
 ) -> list[dict[str, str]]:
-    """Return one row per benchmark: source, pattern, paper input, scaled input."""
+    """Return one row per benchmark: source, pattern, paper input, scaled input.
+
+    ``prebuilt`` lets callers that already hold workload objects (the batch
+    drivers) describe them without constructing fresh instances.
+    """
 
     names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
     rows: list[dict[str, str]] = []
     for name in names:
-        workload = WORKLOADS[name](scale=scale)
+        workload = (prebuilt or {}).get(name)
+        if workload is None or workload.scale.name != scale:
+            workload = WORKLOADS[name](scale=scale)
         rows.append(workload.description())
     return rows
 

@@ -31,6 +31,18 @@ class HierarchyStats:
             "dropped_prefetches": self.dropped_prefetches,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "HierarchyStats":
+        """Rebuild stats from :meth:`as_dict` output (e.g. a cached result)."""
+
+        return cls(
+            l1=dict(data.get("l1") or {}),
+            l2=dict(data.get("l2") or {}),
+            tlb=dict(data.get("tlb") or {}),
+            dram=dict(data.get("dram") or {}),
+            dropped_prefetches=data.get("dropped_prefetches", 0),
+        )
+
     @property
     def l1_read_hit_rate(self) -> float:
         return float(self.l1.get("demand_read_hit_rate", 0.0))

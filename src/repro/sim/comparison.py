@@ -1,4 +1,12 @@
-"""Multi-workload, multi-mode comparison driver (the engine behind Figure 7)."""
+"""Multi-workload, multi-mode comparison driver (the engine behind Figure 7).
+
+Since the batch-engine refactor this module is a thin plan-builder: it
+declares one :class:`~repro.sim.engine.SimRequest` per ``(workload, mode)``
+point plus the shared no-prefetch baseline, hands the plan to a
+:class:`~repro.sim.engine.SimEngine`, and folds the batch back into the
+:class:`ComparisonResult` view the figures consume.  Unavailable modes (the
+missing Figure 7 bars) execute to nothing and are skipped, as before.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +14,12 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..config import SystemConfig
-from ..workloads import WORKLOAD_ORDER, build_workload
+from ..errors import DuplicateResultError
+from ..workloads import WORKLOAD_ORDER
 from ..workloads.base import Workload
-from .modes import FIGURE7_MODES, PrefetchMode, mode_available
+from .engine import SimEngine, SimPlan, SimRequest, SerialRunner
+from .modes import FIGURE7_MODES, PrefetchMode
 from .results import SimulationResult, geometric_mean
-from .system import simulate
 
 
 @dataclass
@@ -20,11 +29,23 @@ class ComparisonResult:
     baselines: dict[str, SimulationResult] = field(default_factory=dict)
     results: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
 
-    def add(self, result: SimulationResult) -> None:
+    def add(self, result: SimulationResult, *, replace: bool = False) -> None:
+        """Record one result; duplicates raise unless ``replace`` is set."""
+
         if result.mode == PrefetchMode.NONE.value:
+            if result.workload in self.baselines and not replace:
+                raise DuplicateResultError(
+                    f"duplicate baseline result for workload {result.workload!r}"
+                )
             self.baselines[result.workload] = result
         else:
-            self.results[(result.workload, result.mode)] = result
+            key = (result.workload, result.mode)
+            if key in self.results and not replace:
+                raise DuplicateResultError(
+                    f"duplicate result for workload {result.workload!r} "
+                    f"mode {result.mode!r}"
+                )
+            self.results[key] = result
 
     # ----------------------------------------------------------------- views
 
@@ -56,6 +77,46 @@ class ComparisonResult:
         return list(self.baselines)
 
 
+def comparison_plan(
+    workload_names: Optional[Iterable[str]] = None,
+    modes: Optional[Iterable[PrefetchMode]] = None,
+    *,
+    config: Optional[SystemConfig] = None,
+    scale: str = "default",
+    seed: int = 42,
+) -> SimPlan:
+    """Declare every (workload, mode) point plus the shared baselines."""
+
+    names = list(workload_names) if workload_names is not None else list(WORKLOAD_ORDER)
+    mode_list = list(modes) if modes is not None else list(FIGURE7_MODES)
+    system_config = config if config is not None else SystemConfig.scaled()
+
+    plan = SimPlan()
+    for name in names:
+        plan.add(
+            SimRequest(
+                workload=name,
+                mode=PrefetchMode.NONE.value,
+                scale=scale,
+                seed=seed,
+                config=system_config,
+            )
+        )
+        for mode in mode_list:
+            if mode == PrefetchMode.NONE:
+                continue
+            plan.add(
+                SimRequest(
+                    workload=name,
+                    mode=mode.value,
+                    scale=scale,
+                    seed=seed,
+                    config=system_config,
+                )
+            )
+    return plan
+
+
 def run_comparison(
     workload_names: Optional[Iterable[str]] = None,
     modes: Optional[Iterable[PrefetchMode]] = None,
@@ -64,24 +125,24 @@ def run_comparison(
     scale: str = "default",
     seed: int = 42,
     workloads: Optional[dict[str, Workload]] = None,
+    engine: Optional[SimEngine] = None,
 ) -> ComparisonResult:
     """Simulate every (workload, mode) pair plus the no-prefetching baseline.
 
-    ``workloads`` can pass pre-built workload objects (so their traces are
-    reused across calls); otherwise they are built from ``workload_names``.
-    Unavailable modes (missing Figure 7 bars) are skipped silently.
+    ``engine`` shares memoised/cached results (and a parallel runner) across
+    callers; when omitted a serial engine is created, reusing any pre-built
+    workload objects passed via ``workloads``.  Unavailable modes (missing
+    Figure 7 bars) are skipped silently.
     """
 
-    names = list(workload_names) if workload_names is not None else list(WORKLOAD_ORDER)
-    mode_list = list(modes) if modes is not None else list(FIGURE7_MODES)
-    system_config = config if config is not None else SystemConfig.scaled()
+    if engine is None:
+        engine = SimEngine(runner=SerialRunner(workloads=workloads))
+    plan = comparison_plan(workload_names, modes, config=config, scale=scale, seed=seed)
+    batch = engine.run(plan)
 
     comparison = ComparisonResult()
-    for name in names:
-        workload = (workloads or {}).get(name) or build_workload(name, scale=scale, seed=seed)
-        comparison.add(simulate(workload, PrefetchMode.NONE, system_config))
-        for mode in mode_list:
-            if mode == PrefetchMode.NONE or not mode_available(workload, mode):
-                continue
-            comparison.add(simulate(workload, mode, system_config))
+    for request in plan:
+        result = batch.get(request)
+        if result is not None:
+            comparison.add(result)
     return comparison

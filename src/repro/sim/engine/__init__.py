@@ -1,0 +1,42 @@
+"""Batch simulation engine: plan → execute → cache.
+
+Every figure, table and sweep in the evaluation reduces to a set of
+independent ``(workload, mode, config)`` simulation points.  This package
+turns those points into declarative :class:`SimRequest` values, collects them
+into a deduplicating :class:`SimPlan`, executes the plan with a pluggable
+:class:`Runner` (serial, or ``multiprocessing`` across cores), and memoises
+results both in-process and in a persistent content-addressed
+:class:`ResultCache`, so shared baselines are simulated exactly once and
+repeated reproduction runs skip work entirely.
+
+Quickstart::
+
+    from repro.sim.engine import MultiprocessRunner, ResultCache, SimEngine
+    from repro.sim.comparison import comparison_plan
+
+    engine = SimEngine(runner=MultiprocessRunner(), cache=ResultCache(".sim-cache"))
+    batch = engine.run(comparison_plan(["intsort", "randacc"]))
+    print(batch.stats)
+"""
+
+from .cache import UNAVAILABLE, ResultCache
+from .core import BatchResult, EngineStats, SimEngine
+from .plan import SimPlan
+from .request import POLICY_REGISTRY, SimRequest, resolve_policy
+from .runner import MultiprocessRunner, Runner, SerialRunner, group_requests
+
+__all__ = [
+    "SimRequest",
+    "SimPlan",
+    "Runner",
+    "SerialRunner",
+    "MultiprocessRunner",
+    "group_requests",
+    "ResultCache",
+    "UNAVAILABLE",
+    "SimEngine",
+    "BatchResult",
+    "EngineStats",
+    "POLICY_REGISTRY",
+    "resolve_policy",
+]

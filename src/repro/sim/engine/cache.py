@@ -1,0 +1,95 @@
+"""Persistent, content-addressed simulation result cache.
+
+One JSON file per request digest.  Files carry the full request description
+alongside the result so the cache is self-describing and debuggable with any
+text editor; loads ignore the description and reconstruct the
+:class:`SimulationResult` from its recorded base fields, which round-trips
+floats exactly (Python's JSON encoder emits ``repr``-faithful doubles), so a
+warm cache reproduces bit-identical numbers.
+
+Unavailable modes (a request whose workload cannot build the mode) are also
+recorded, as tombstones, so warm runs skip the workload rebuild that
+discovering the unavailability would cost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from ..results import SimulationResult
+from .request import SimRequest
+
+
+class _Unavailable:
+    """Sentinel: the cached request's mode cannot be built (no result)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNAVAILABLE"
+
+
+UNAVAILABLE = _Unavailable()
+
+CachedValue = Union[SimulationResult, _Unavailable]
+
+
+class ResultCache:
+    """Digest-keyed JSON store of simulation results."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[CachedValue]:
+        """Return the cached value for ``digest``, or ``None`` on a miss.
+
+        Corrupt or unreadable entries are treated as misses (and will be
+        overwritten by the next store).
+        """
+
+        try:
+            with open(self._path(digest), "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("unavailable"):
+            return UNAVAILABLE
+        try:
+            return SimulationResult.from_dict(data["result"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, request: SimRequest, result: SimulationResult) -> None:
+        self._write(request, {"request": request.describe(), "result": result.as_dict()})
+
+    def put_unavailable(self, request: SimRequest) -> None:
+        self._write(request, {"request": request.describe(), "unavailable": True})
+
+    def _write(self, request: SimRequest, payload: dict) -> None:
+        # Write-then-rename keeps concurrent readers (and parallel runs
+        # sharing one cache directory) from ever seeing a partial file.
+        path = self._path(request.digest)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; return how many were removed."""
+
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,152 @@
+"""The engine facade: run a plan through memo → cache → runner.
+
+:class:`SimEngine` owns three layers of reuse:
+
+1. the plan itself deduplicates identical requests (shared baselines);
+2. an in-process memo carries results across successive ``run`` calls, so
+   several figures sharing one engine never re-simulate a point;
+3. an optional persistent :class:`ResultCache` carries results across
+   sessions.
+
+Everything still pending after those layers goes to the :class:`Runner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..results import SimulationResult
+from .cache import UNAVAILABLE, CachedValue, ResultCache
+from .plan import SimPlan
+from .request import SimRequest
+from .runner import Runner, SerialRunner
+
+
+@dataclass
+class EngineStats:
+    """What one ``run`` (or an engine lifetime) did and avoided doing."""
+
+    submitted: int = 0
+    unique: int = 0
+    deduplicated: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    unavailable: int = 0
+    runner: str = "serial"
+
+    @property
+    def avoided(self) -> int:
+        """Simulations skipped through dedup, memoisation or the disk cache."""
+
+        return self.deduplicated + self.memo_hits + self.cache_hits
+
+    def merge(self, other: "EngineStats") -> None:
+        self.submitted += other.submitted
+        self.unique += other.unique
+        self.deduplicated += other.deduplicated
+        self.memo_hits += other.memo_hits
+        self.cache_hits += other.cache_hits
+        self.executed += other.executed
+        self.unavailable += other.unavailable
+        self.runner = other.runner
+
+    def summary(self) -> str:
+        return (
+            f"{self.submitted} submitted → {self.unique} unique "
+            f"({self.deduplicated} deduplicated), {self.memo_hits} memo hits, "
+            f"{self.cache_hits} cache hits, {self.executed} simulated "
+            f"({self.unavailable} unavailable) [{self.runner}]"
+        )
+
+
+@dataclass
+class BatchResult:
+    """Results of one executed plan, addressable by request or digest."""
+
+    results: dict[str, SimulationResult] = field(default_factory=dict)
+    skipped: set[str] = field(default_factory=set)
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def get(self, request: Union[SimRequest, str]) -> Optional[SimulationResult]:
+        digest = request.digest if isinstance(request, SimRequest) else request
+        return self.results.get(digest)
+
+    def __getitem__(self, request: Union[SimRequest, str]) -> SimulationResult:
+        result = self.get(request)
+        if result is None:
+            digest = request.digest if isinstance(request, SimRequest) else request
+            raise KeyError(f"no result for request {digest}")
+        return result
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class SimEngine:
+    """Plan executor with in-process memoisation and optional disk cache."""
+
+    def __init__(
+        self,
+        *,
+        runner: Optional[Runner] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.runner = runner if runner is not None else SerialRunner()
+        self.cache = cache
+        #: Cumulative statistics across every ``run``/``simulate`` call.
+        self.stats = EngineStats(runner=self.runner.label)
+        self._memo: dict[str, CachedValue] = {}
+
+    def run(self, plan: SimPlan) -> BatchResult:
+        """Execute ``plan``; returns results plus per-run statistics."""
+
+        run_stats = EngineStats(
+            submitted=plan.submitted,
+            unique=len(plan),
+            deduplicated=plan.deduplicated,
+            runner=self.runner.label,
+        )
+        batch = BatchResult(stats=run_stats)
+        pending: list[SimRequest] = []
+
+        for digest, request in plan.items():
+            value = self._memo.get(digest)
+            if value is not None:
+                run_stats.memo_hits += 1
+            elif self.cache is not None:
+                value = self.cache.get(digest)
+                if value is not None:
+                    run_stats.cache_hits += 1
+                    self._memo[digest] = value
+            if value is None:
+                pending.append(request)
+            elif value is UNAVAILABLE:
+                batch.skipped.add(digest)
+            else:
+                batch.results[digest] = value
+
+        by_digest = {request.digest: request for request in pending}
+        for digest, result in self.runner.run(pending):
+            run_stats.executed += 1
+            request = by_digest[digest]
+            if result is None:
+                run_stats.unavailable += 1
+                batch.skipped.add(digest)
+                self._memo[digest] = UNAVAILABLE
+                if self.cache is not None:
+                    self.cache.put_unavailable(request)
+            else:
+                batch.results[digest] = result
+                self._memo[digest] = result
+                if self.cache is not None:
+                    self.cache.put(request, result)
+
+        self.stats.merge(run_stats)
+        return batch
+
+    def simulate(self, request: SimRequest) -> Optional[SimulationResult]:
+        """Run a single request through the full memo/cache/runner path."""
+
+        return self.run(SimPlan([request])).get(request)

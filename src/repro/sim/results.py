@@ -62,6 +62,20 @@ class SimulationResult:
             return 0.0
         return self.dram_accesses / baseline.dram_accesses - 1.0
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`as_dict` output (derived keys ignored)."""
+
+        return cls(
+            workload=data["workload"],
+            mode=data["mode"],
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            core=dict(data.get("core") or {}),
+            hierarchy=HierarchyStats.from_dict(data.get("hierarchy") or {}),
+            prefetcher=data.get("prefetcher"),
+        )
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "workload": self.workload,
