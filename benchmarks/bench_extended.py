@@ -1,0 +1,18 @@
+"""Timed regeneration of the extended-workloads comparison table."""
+
+from repro.eval.extended import format_extended, run_extended
+
+from .conftest import BENCH_SCALE
+
+
+def test_extended_workloads(benchmark, bench_engine):
+    data = benchmark.pedantic(
+        lambda: run_extended(scale=BENCH_SCALE, engine=bench_engine),
+        rounds=1,
+        iterations=1,
+    )
+    assert data.speedups
+    for row in data.speedups.values():
+        assert row.get("manual") is not None
+    print()
+    print(format_extended(data))

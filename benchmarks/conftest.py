@@ -35,15 +35,18 @@ from repro.sim import (  # noqa: E402
     run_comparison,
 )
 from repro.sim.modes import FIGURE7_MODES  # noqa: E402
-from repro.workloads import WORKLOAD_ORDER, build_workload  # noqa: E402
+from repro.workloads import build_workload, registry  # noqa: E402
 
 #: Workload scale used by the whole benchmark session.
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 
-#: Workload subset (comma separated) — defaults to all eight benchmarks.
+#: Workload subset (comma separated) — defaults to the paper benchmarks as
+#: listed by the workload registry (the single source of truth).
 BENCH_WORKLOADS = [
     name
-    for name in os.environ.get("REPRO_BENCH_WORKLOADS", ",".join(WORKLOAD_ORDER)).split(",")
+    for name in os.environ.get(
+        "REPRO_BENCH_WORKLOADS", ",".join(registry.paper_names())
+    ).split(",")
     if name
 ]
 

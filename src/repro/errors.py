@@ -63,6 +63,15 @@ class DuplicateResultError(ReproError):
     """
 
 
+class RegistryError(ReproError):
+    """Invalid use of the workload registry.
+
+    Raised when a workload name is registered twice (two kernels cannot share
+    a ``SimRequest.workload`` key) or when a lookup names an unregistered
+    workload.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload was asked for something it cannot provide.
 

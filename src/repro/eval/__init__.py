@@ -10,6 +10,7 @@ Each module reproduces one artefact of Section 7:
 * :mod:`~repro.eval.memtraffic` — extra memory accesses (Section 7.2 text).
 * :mod:`~repro.eval.table1`   — the simulated system configuration.
 * :mod:`~repro.eval.table2`   — the benchmark summary.
+* :mod:`~repro.eval.extended` — the off-paper workloads (registry extras).
 * :mod:`~repro.eval.report`   — runs everything and renders EXPERIMENTS.md.
 
 Every experiment function returns a plain data structure (suitable for tests
@@ -17,6 +18,7 @@ and further analysis) and has a ``format_*`` companion that renders the
 ASCII table printed by the examples and benchmarks.
 """
 
+from .extended import EXTENDED_MODES, ExtendedData, format_extended, run_extended
 from .figure7 import Figure7Data, format_figure7, run_figure7
 from .figure8 import Figure8Data, format_figure8, run_figure8
 from .figure9 import Figure9Data, format_figure9, run_figure9
@@ -49,4 +51,8 @@ __all__ = [
     "format_table1",
     "run_table2",
     "format_table2",
+    "run_extended",
+    "format_extended",
+    "ExtendedData",
+    "EXTENDED_MODES",
 ]

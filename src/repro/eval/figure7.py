@@ -10,7 +10,7 @@ from ..sim.comparison import ComparisonResult, run_comparison
 from ..sim.engine import SimEngine
 from ..sim.modes import FIGURE7_MODES, PrefetchMode
 from ..sim.results import geometric_mean
-from ..workloads import WORKLOAD_ORDER
+from ..workloads import registry
 from . import paper_values
 
 
@@ -46,7 +46,7 @@ def run_figure7(
     optionally parallelised/cached) with those of the other figures.
     """
 
-    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    names = list(workloads) if workloads is not None else registry.paper_names()
     if comparison is None:
         comparison = run_comparison(
             names, FIGURE7_MODES, config=config, scale=scale, seed=seed, engine=engine

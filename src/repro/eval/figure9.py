@@ -25,7 +25,7 @@ from ..sim.sweeps import (
     count_frequency_sweep_requests,
     frequency_sweep_requests,
 )
-from ..workloads import WORKLOAD_ORDER
+from ..workloads import registry
 from ..workloads.base import Workload
 
 
@@ -69,7 +69,7 @@ def figure9_plan(
 ) -> _Figure9Requests:
     """Declare every Figure 9 simulation point as one deduplicated plan."""
 
-    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    names = list(workloads) if workloads is not None else registry.paper_names()
     system_config = config if config is not None else SystemConfig.scaled()
     frequency_list = list(frequencies) if frequencies is not None else list(FIGURE9A_FREQUENCIES)
     count_list = list(counts) if counts is not None else list(FIGURE9B_COUNTS)

@@ -9,7 +9,7 @@ from ..config import SystemConfig
 from ..sim.comparison import ComparisonResult, run_comparison
 from ..sim.engine import SimEngine
 from ..sim.modes import PrefetchMode
-from ..workloads import WORKLOAD_ORDER
+from ..workloads import registry
 
 
 @dataclass
@@ -29,7 +29,7 @@ def run_memtraffic(
     comparison: Optional[ComparisonResult] = None,
     engine: Optional[SimEngine] = None,
 ) -> MemTrafficData:
-    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    names = list(workloads) if workloads is not None else registry.paper_names()
     if comparison is None:
         comparison = run_comparison(
             names, [PrefetchMode.MANUAL], config=config, scale=scale, seed=seed,

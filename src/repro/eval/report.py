@@ -24,7 +24,7 @@ from ..sim.engine import (
     SimEngine,
 )
 from ..sim.modes import FIGURE7_MODES, PrefetchMode
-from ..workloads import WORKLOAD_ORDER
+from ..workloads import registry
 from . import paper_values
 from .figure7 import Figure7Data, format_figure7, run_figure7
 from .figure8 import Figure8Data, format_figure8, run_figure8
@@ -109,7 +109,7 @@ def run_report(
     anything further.
     """
 
-    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    names = list(workloads) if workloads is not None else registry.paper_names()
     system_config = config if config is not None else SystemConfig.scaled()
     if engine is None:
         engine = build_engine(parallel=parallel, workers=workers, cache_dir=cache_dir)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional
 
-from ..workloads import WORKLOAD_ORDER, WORKLOADS
+from ..workloads import registry
 from ..workloads.base import Workload
 
 
@@ -20,12 +20,13 @@ def run_table2(
     drivers) describe them without constructing fresh instances.
     """
 
-    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    names = list(workloads) if workloads is not None else registry.paper_names()
     rows: list[dict[str, str]] = []
     for name in names:
         workload = (prebuilt or {}).get(name)
         if workload is None or workload.scale.name != scale:
-            workload = WORKLOADS[name](scale=scale)
+            # Description only — no need to build the data structures.
+            workload = registry.get(name).factory(scale=scale)
         rows.append(workload.description())
     return rows
 

@@ -15,19 +15,29 @@ from typing import Iterable, Optional
 
 from ..config import SystemConfig
 from ..errors import DuplicateResultError
-from ..workloads import WORKLOAD_ORDER
+from ..workloads import registry
 from ..workloads.base import Workload
-from .engine import SimEngine, SimPlan, SimRequest, SerialRunner
+from .engine import EngineStats, SimEngine, SimPlan, SimRequest, SerialRunner
 from .modes import FIGURE7_MODES, PrefetchMode
 from .results import SimulationResult, geometric_mean
 
 
 @dataclass
 class ComparisonResult:
-    """Baseline and per-mode results for a set of workloads."""
+    """Baseline and per-mode results for a set of workloads.
+
+    Attributes:
+        baselines: No-prefetching result per workload name.
+        results: Result per ``(workload, mode value)`` pair for every other
+            mode.
+        engine_stats: Statistics of the engine run that produced the results
+            (set by :func:`run_comparison`; ``None`` for hand-assembled
+            comparisons).
+    """
 
     baselines: dict[str, SimulationResult] = field(default_factory=dict)
     results: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
+    engine_stats: Optional[EngineStats] = None
 
     def add(self, result: SimulationResult, *, replace: bool = False) -> None:
         """Record one result; duplicates raise unless ``replace`` is set."""
@@ -50,11 +60,19 @@ class ComparisonResult:
     # ----------------------------------------------------------------- views
 
     def result(self, workload: str, mode: PrefetchMode) -> Optional[SimulationResult]:
+        """The recorded result for ``(workload, mode)``, or ``None``."""
+
         if mode == PrefetchMode.NONE:
             return self.baselines.get(workload)
         return self.results.get((workload, mode.value))
 
     def speedup(self, workload: str, mode: PrefetchMode) -> Optional[float]:
+        """Speedup of ``mode`` over the workload's no-prefetch baseline.
+
+        Returns ``None`` when either the baseline or the mode result is
+        missing (an unavailable Figure 7 bar).
+        """
+
         baseline = self.baselines.get(workload)
         result = self.result(workload, mode)
         if baseline is None or result is None:
@@ -62,6 +80,8 @@ class ComparisonResult:
         return result.speedup_over(baseline)
 
     def speedups_for_mode(self, mode: PrefetchMode) -> dict[str, float]:
+        """Per-workload speedups for ``mode``, omitting missing points."""
+
         speedups: dict[str, float] = {}
         for workload in self.baselines:
             value = self.speedup(workload, mode)
@@ -70,10 +90,14 @@ class ComparisonResult:
         return speedups
 
     def geomean_speedup(self, mode: PrefetchMode) -> float:
+        """Geometric-mean speedup of ``mode`` across recorded workloads."""
+
         return geometric_mean(list(self.speedups_for_mode(mode).values()))
 
     @property
     def workloads(self) -> list[str]:
+        """Workload names with a recorded baseline, in insertion order."""
+
         return list(self.baselines)
 
 
@@ -87,7 +111,7 @@ def comparison_plan(
 ) -> SimPlan:
     """Declare every (workload, mode) point plus the shared baselines."""
 
-    names = list(workload_names) if workload_names is not None else list(WORKLOAD_ORDER)
+    names = list(workload_names) if workload_names is not None else registry.paper_names()
     mode_list = list(modes) if modes is not None else list(FIGURE7_MODES)
     system_config = config if config is not None else SystemConfig.scaled()
 
@@ -140,7 +164,7 @@ def run_comparison(
     plan = comparison_plan(workload_names, modes, config=config, scale=scale, seed=seed)
     batch = engine.run(plan)
 
-    comparison = ComparisonResult()
+    comparison = ComparisonResult(engine_stats=batch.stats)
     for request in plan:
         result = batch.get(request)
         if result is not None:

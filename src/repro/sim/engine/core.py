@@ -100,7 +100,16 @@ class SimEngine:
         self._memo: dict[str, CachedValue] = {}
 
     def run(self, plan: SimPlan) -> BatchResult:
-        """Execute ``plan``; returns results plus per-run statistics."""
+        """Execute ``plan`` through memo → cache → runner.
+
+        Args:
+            plan: The deduplicated request set to execute.
+
+        Returns:
+            A :class:`BatchResult` mapping request digests to results, with
+            unavailable points in ``skipped`` and an :class:`EngineStats`
+            describing what this run executed and what it avoided.
+        """
 
         run_stats = EngineStats(
             submitted=plan.submitted,
@@ -147,6 +156,14 @@ class SimEngine:
         return batch
 
     def simulate(self, request: SimRequest) -> Optional[SimulationResult]:
-        """Run a single request through the full memo/cache/runner path."""
+        """Run a single request through the full memo/cache/runner path.
+
+        Args:
+            request: The simulation point to run.
+
+        Returns:
+            Its :class:`~repro.sim.results.SimulationResult`, or ``None``
+            when the requested mode is unavailable for the workload.
+        """
 
         return self.run(SimPlan([request])).get(request)

@@ -72,9 +72,18 @@ def code_fingerprint() -> str:
 class SimRequest:
     """One declarative simulation point.
 
-    ``mode`` is stored as the :class:`PrefetchMode` *value* string so the
-    request is trivially JSON-encodable; use :attr:`prefetch_mode` for the
-    enum.
+    Attributes:
+        workload: Workload name as registered with
+            :mod:`repro.workloads.registry` (runners rebuild the workload
+            from the registry in whatever process executes the request).
+        mode: Prefetch mode, stored as the :class:`PrefetchMode` *value*
+            string so the request is trivially JSON-encodable; use
+            :attr:`prefetch_mode` for the enum.
+        scale: Workload scale name (``tiny`` .. ``large``).
+        seed: Workload data-generation seed.
+        config: Full system configuration for the run.
+        policy: Scheduling-policy name from :data:`POLICY_REGISTRY`, or
+            ``None`` for the prefetcher's built-in policy.
     """
 
     workload: str

@@ -36,10 +36,28 @@ def simulate(
 ) -> SimulationResult:
     """Run ``workload`` under ``mode`` and return the recorded result.
 
-    Raises :class:`~repro.errors.WorkloadError` when the mode cannot be built
-    for the workload (e.g. software prefetching for PageRank); callers that
-    want the Figure 7 behaviour of simply omitting the bar should check
-    :func:`~repro.sim.modes.mode_available` first.
+    This is the single-point primitive beneath the batch engine: it builds
+    the workload (idempotent), assembles the memory hierarchy, attaches the
+    prefetcher the mode calls for, replays the workload's dynamic trace
+    through the out-of-order core model and collects every statistic.
+
+    Args:
+        workload: A built (or buildable) :class:`~repro.workloads.base.Workload`.
+        mode: The prefetching scheme to simulate.
+        config: System parameters; defaults to ``SystemConfig.scaled()``.
+        policy: PPU scheduling policy override for programmable modes;
+            ``None`` uses the prefetcher's built-in lowest-free-ID policy.
+
+    Returns:
+        A :class:`~repro.sim.results.SimulationResult` with cycles,
+        instructions, per-level hierarchy statistics and (for programmable
+        modes) the prefetcher engine statistics.
+
+    Raises:
+        repro.errors.WorkloadError: When the mode cannot be built for the
+            workload (e.g. software prefetching for PageRank); callers that
+            want the Figure 7 behaviour of simply omitting the bar should
+            check :func:`~repro.sim.modes.mode_available` first.
     """
 
     system_config = config if config is not None else SystemConfig.scaled()

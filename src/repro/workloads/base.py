@@ -105,7 +105,23 @@ class Workload(ABC):
     # ---------------------------------------------------------------- traces
 
     def trace(self, variant: str = "plain") -> Trace:
-        """Return the dynamic trace for ``variant`` ('plain' or 'software')."""
+        """Return the (cached) dynamic trace for ``variant``.
+
+        Args:
+            variant: ``'plain'`` for the unmodified benchmark or
+                ``'software'`` for the software-prefetch version (extra
+                prefetch instructions plus their address-generation
+                overhead).
+
+        Returns:
+            The validated :class:`~repro.cpu.trace.Trace`; emitted once per
+            variant and cached, so every prefetch mode simulates the same
+            dynamic instruction stream.
+
+        Raises:
+            WorkloadError: For an unknown variant, or for ``'software'``
+                when :meth:`supports_software_prefetch` is ``False``.
+        """
 
         self._require_built()
         if variant not in ("plain", "software"):
@@ -138,7 +154,14 @@ class Workload(ABC):
     # ------------------------------------------------------ prefetcher modes
 
     def manual_configuration(self) -> PrefetcherConfiguration:
-        """Hand-written PPU kernels and configuration (the paper's 'manual')."""
+        """Hand-written PPU kernels and configuration (the paper's 'manual').
+
+        Returns:
+            The validated, cached :class:`PrefetcherConfiguration` —
+            kernels, tags, filter ranges, streams and global registers —
+            that :func:`repro.sim.system.simulate` installs for the
+            ``manual`` and ``manual-blocked`` modes.
+        """
 
         self._require_built()
         if self._manual is None:
@@ -151,7 +174,14 @@ class Workload(ABC):
         ...
 
     def loop_ir(self) -> tuple[Loop, Mapping[str, int]]:
-        """The loop IR + parameter bindings the compiler passes operate on."""
+        """The loop IR + parameter bindings the compiler passes operate on.
+
+        Returns:
+            A ``(loop, bindings)`` pair: the annotated
+            :class:`~repro.compiler.ir.Loop` and the concrete values
+            (array base addresses, trip counts, masks) the conversion and
+            pragma passes substitute for its parameters.
+        """
 
         self._require_built()
         return self._build_loop_ir()

@@ -27,6 +27,7 @@ from ..cpu.trace import TraceBuilder
 from ..programmable.config_api import PrefetcherConfiguration
 from ..programmable.kernel import KernelBuilder
 from .base import Workload
+from .registry import register_workload
 from .data.rmat import generate_rmat_csr
 
 SOFTWARE_PREFETCH_DISTANCE = 8
@@ -38,6 +39,7 @@ CONVERTED_FIRST_N_EDGES = 4
 MAX_EDGE_LINES = 4
 
 
+@register_workload(paper_reference=True)
 class Graph500CSRWorkload(Workload):
     """Graph500 BFS with CSR edge storage."""
 

@@ -22,6 +22,7 @@ from ..cpu.trace import TraceBuilder
 from ..programmable.config_api import PrefetcherConfiguration
 from ..programmable.kernel import KernelBuilder
 from .base import Workload
+from .registry import register_workload
 from .data.rmat import generate_rmat_csr
 
 SOFTWARE_PREFETCH_DISTANCE = 8
@@ -30,6 +31,7 @@ SOFTWARE_PREFETCH_DISTANCE = 8
 _NODE_WORDS = 2
 
 
+@register_workload(paper_reference=True)
 class Graph500ListWorkload(Workload):
     """Graph500 BFS with linked-list edge storage."""
 

@@ -26,6 +26,7 @@ from ..cpu.trace import TraceBuilder
 from ..programmable.config_api import PrefetcherConfiguration
 from ..programmable.kernel import KernelBuilder
 from .base import HASH_MULTIPLIER, Workload
+from .registry import register_workload
 from .data.distributions import random_keys
 from .kernels import add_stride_indirect_chain, hash_transform
 
@@ -77,6 +78,7 @@ class _HashJoinBase(Workload):
         return rng.choice(self._build_keys, size=self.num_probes).astype(np.int64)
 
 
+@register_workload(paper_reference=True)
 class HashJoin2Workload(_HashJoinBase):
     """HJ-2: hash join with inline bucket entries (no chains)."""
 
@@ -195,6 +197,7 @@ class HashJoin2Workload(_HashJoinBase):
         return loop, bindings
 
 
+@register_workload(paper_reference=True)
 class HashJoin8Workload(_HashJoinBase):
     """HJ-8: hash join with per-bucket linked lists."""
 

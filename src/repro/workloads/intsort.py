@@ -18,6 +18,7 @@ from ..compiler import ir
 from ..cpu.trace import TraceBuilder
 from ..programmable.config_api import PrefetcherConfiguration
 from .base import Workload
+from .registry import register_workload
 from .data.distributions import random_keys
 from .kernels import add_stride_indirect_chain, identity_transform
 
@@ -26,6 +27,7 @@ from .kernels import add_stride_indirect_chain, identity_transform
 SOFTWARE_PREFETCH_DISTANCE = 32
 
 
+@register_workload(paper_reference=True)
 class IntSortWorkload(Workload):
     """NAS IS counting-sort histogram phase."""
 

@@ -25,10 +25,12 @@ from ..compiler import ir
 from ..cpu.trace import TraceBuilder
 from ..programmable.config_api import PrefetcherConfiguration
 from .base import Workload
+from .registry import register_workload
 from .data.rmat import generate_rmat_csr
 from .kernels import add_stride_indirect_chain, identity_transform
 
 
+@register_workload(paper_reference=True)
 class PageRankWorkload(Workload):
     """One pull-style PageRank sweep (rank gather through the edge array)."""
 

@@ -25,11 +25,13 @@ from ..compiler import ir
 from ..cpu.trace import TraceBuilder
 from ..programmable.config_api import PrefetcherConfiguration
 from .base import Workload
+from .registry import register_workload
 from .kernels import add_stride_indirect_chain, masked_transform
 
 SOFTWARE_PREFETCH_DISTANCE = 32
 
 
+@register_workload(paper_reference=True)
 class RandomAccessWorkload(Workload):
     """HPCC RandomAccess table-update kernel."""
 

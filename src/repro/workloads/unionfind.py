@@ -1,0 +1,196 @@
+"""Union-find — disjoint-set finds with path halving (off-paper).
+
+A stream of ``find`` queries over a disjoint-set forest stored as a parent
+array.  Each query reads its element id from a strided operation buffer and
+then chases ``parent[parent[...]]`` to the root — a data-dependent pointer
+chase like the hash-join list walks — while *path halving* rewrites every
+other parent pointer along the way, so the trace also carries dependent
+stores and the structure flattens as the query stream progresses (early
+queries chase long chains, later ones hit compressed paths).
+
+The forest is built as scattered chains of a fixed length so the first visit
+to a set walks a guaranteed multi-hop chain through non-contiguous memory.
+Software prefetching reaches the next query's *first* hop only; the manual
+PPU programming chases the whole chain with a self-re-triggering tagged
+kernel that stops when it observes a root (``parent[x] == x``).
+
+This workload is not part of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..compiler import ir
+from ..cpu.trace import TraceBuilder
+from ..programmable.config_api import PrefetcherConfiguration
+from ..programmable.kernel import KernelBuilder
+from .base import Workload
+from .kernels import add_stride_indirect_chain, identity_transform
+from .registry import register_workload
+
+SOFTWARE_PREFETCH_DISTANCE = 16
+
+#: Elements per chain in the initial forest (before any compression).
+CHAIN_LENGTH = 12
+
+
+@register_workload()
+class UnionFindWorkload(Workload):
+    """Disjoint-set find queries with path halving over a chained forest."""
+
+    name = "unionfind"
+    pattern = "Stride-indirect + pointer chasing (path halving)"
+    paper_input = "— (off-paper workload)"
+    repro_input = "12,288 finds over 32,768 elements in 12-deep chains (scaled)"
+
+    def __init__(self, scale: str = "default", seed: int = 42) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.num_elements = self.scale.scaled(32768, minimum=1024)
+        self.num_queries = self.scale.scaled(12288, minimum=256)
+
+    # ------------------------------------------------------------------ data
+
+    def _build_data(self) -> None:
+        rng = np.random.default_rng(self.seed)
+
+        # Scattered chains: a random permutation is cut into runs of
+        # CHAIN_LENGTH; within a run each element points at the next, the
+        # last is its own root.  Chasing a chain therefore jumps around the
+        # parent array the way a pointer-linked structure jumps around the
+        # heap.
+        permutation = rng.permutation(self.num_elements).astype(np.int64)
+        parent = np.arange(self.num_elements, dtype=np.int64)
+        for start in range(0, self.num_elements, CHAIN_LENGTH):
+            run = permutation[start : start + CHAIN_LENGTH]
+            parent[run[:-1]] = run[1:]
+
+        queries = rng.integers(0, self.num_elements, size=self.num_queries, dtype=np.int64)
+        self.parent = self.space.allocate_array("uf_parent", self.num_elements, values=parent)
+        self.ops = self.space.allocate_array("uf_ops", self.num_queries, values=queries)
+        self.roots = self.space.allocate_array(
+            "uf_roots", self.num_queries, values=np.zeros(self.num_queries, dtype=np.int64)
+        )
+        self._initial_parent = parent
+        self._queries = queries
+        #: Post-trace forest state (set by the first emission); the simulated
+        #: parent array keeps the pristine chains — see :meth:`_emit_trace`.
+        self.compressed_parent: np.ndarray | None = None
+
+    # ----------------------------------------------------------------- trace
+
+    def _emit_trace(self, tb: TraceBuilder, *, software_prefetch: bool) -> None:
+        # Path halving mutates the forest, so the chase runs on a Python
+        # mirror and the simulated parent array keeps the pristine forest:
+        # simulated stores are timing-only (replay never mutates the address
+        # space), and the walker kernel must see the chains the trace's
+        # first-visit queries actually walk.  Re-finds overshoot a little —
+        # the kernel re-chases a chain the core has already halved — which
+        # is ordinary prefetcher over-fetch.
+        parent = self._initial_parent.copy()
+        dist = SOFTWARE_PREFETCH_DISTANCE
+
+        for i in range(self.num_queries):
+            if software_prefetch and i + dist < self.num_queries:
+                future_op = tb.load(self.ops.addr_of(i + dist))
+                tb.software_prefetch(
+                    self.parent.addr_of(int(self._queries[i + dist])),
+                    deps=[future_op],
+                )
+            op_load = tb.load(self.ops.addr_of(i))
+            x = int(self._queries[i])
+            previous = op_load
+            while True:
+                px = int(parent[x])
+                parent_load = tb.load(self.parent.addr_of(x), deps=[previous])
+                tb.compute(1, deps=[parent_load])
+                tb.branch(deps=[parent_load])
+                if px == x:
+                    break
+                grand_load = tb.load(self.parent.addr_of(px), deps=[parent_load])
+                ppx = int(parent[px])
+                # Path halving: point x at its grandparent and hop there.
+                parent[x] = ppx
+                tb.store(self.parent.addr_of(x), deps=[grand_load])
+                previous = grand_load
+                x = ppx
+            self.roots[i] = x
+            tb.store(self.roots.addr_of(i), deps=[previous])
+            tb.branch()
+        self.compressed_parent = parent
+
+    # ---------------------------------------------------------------- manual
+
+    def _build_manual_configuration(self) -> PrefetcherConfiguration:
+        config = PrefetcherConfiguration()
+        parent_base = config.set_global("uf_parent_base", self.parent.base_addr)
+
+        # Chain walker: a parent entry arrived.  Recover the element index
+        # from the address; if the value equals the index we are at a root,
+        # otherwise prefetch the parent of the value — tagged with this very
+        # kernel so the walk re-triggers until it reaches the root.
+        walker = KernelBuilder("uf_walk_parent")
+        base = walker.get_global(parent_base)
+        value = walker.get_data()
+        index = walker.shr(walker.sub(walker.get_vaddr(), base), 3)
+        walker.branch_eq(value, index, "root")
+        walker.prefetch(walker.add(base, walker.shl(value, 3)), tag=0)
+        walker.label("root")
+        walker.halt()
+        config.add_kernel(walker.build())
+        walker_tag = config.add_tag("uf_parent_fill", "uf_walk_parent", stream=None)
+        if walker_tag != 0:
+            raise AssertionError("union-find walker tag expected to be 0")
+
+        # Root chain: ops reads look ahead along the query buffer; each
+        # fetched element id starts a tagged walk at parent[id].
+        add_stride_indirect_chain(
+            config,
+            prefix="uf",
+            root_name="ops",
+            root_base=self.ops.base_addr,
+            root_end=self.ops.end_addr,
+            target_name="parent",
+            target_base=self.parent.base_addr,
+            target_end=self.parent.end_addr,
+            transform=identity_transform,
+            follow_on_tag=walker_tag,
+        )
+        return config
+
+    # -------------------------------------------------------------- compiler
+
+    def _build_loop_ir(self) -> tuple[ir.Loop, Mapping[str, int]]:
+        ops_decl = ir.ArrayDecl("ops", "ops_base", length_param="num_queries")
+        parent_decl = ir.ArrayDecl("parent", "parent_base", length_param="num_elements")
+        loop = ir.Loop(
+            "unionfind",
+            ir.IndexVar("i"),
+            trip_count_param="num_queries",
+            arrays=[ops_decl, parent_decl],
+            pragma_prefetch=True,
+            has_irregular_control_flow=True,
+        )
+        i = loop.indvar
+
+        # Software prefetching reaches the first hop of a future query; the
+        # rest of the chase is control dependent.
+        loop.add(
+            ir.SoftwarePrefetchStmt(
+                parent_decl,
+                ir.Load(ops_decl, ir.add(i, SOFTWARE_PREFETCH_DISTANCE)),
+                name="swpf_first_hop",
+            )
+        )
+        first_hop = ir.Load(parent_decl, ir.Load(ops_decl, i))
+        loop.add(ir.LoadStmt(first_hop))
+        loop.add(ir.LoadStmt(ir.Load(parent_decl, first_hop, control_dependent=True)))
+        bindings = {
+            "ops_base": self.ops.base_addr,
+            "parent_base": self.parent.base_addr,
+            "num_queries": self.num_queries,
+            "num_elements": self.num_elements,
+        }
+        return loop, bindings

@@ -11,7 +11,7 @@ import pytest
 
 from repro.config import SystemConfig
 from repro.memory.address_space import AddressSpace
-from repro.workloads import WORKLOAD_ORDER, build_workload
+from repro.workloads import build_workload, registry
 
 
 @pytest.fixture
@@ -51,6 +51,15 @@ def tiny_workloads():
     return _CACHE
 
 
-@pytest.fixture(params=WORKLOAD_ORDER)
+@pytest.fixture(params=registry.paper_names())
 def each_workload_name(request) -> str:
+    """One parameter per paper (Table 2) workload name."""
+
+    return request.param
+
+
+@pytest.fixture(params=registry.extended_names())
+def each_extended_workload_name(request) -> str:
+    """One parameter per off-paper workload name (bfs, spmv, unionfind)."""
+
     return request.param

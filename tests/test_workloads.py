@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.cpu.trace import OpKind
-from repro.errors import WorkloadError
-from repro.workloads import WORKLOAD_ORDER, WORKLOADS, build_workload
+from repro.errors import RegistryError, WorkloadError
+from repro.workloads import WORKLOAD_ORDER, WORKLOADS, build_workload, registry
 from repro.workloads.base import WorkloadScale
 from repro.workloads.data.distributions import random_keys, random_permutation, zipf_keys
 from repro.workloads.data.rmat import edges_to_csr, generate_rmat_csr, generate_rmat_edges
@@ -79,11 +79,13 @@ class TestWorkloadScale:
 
 class TestRegistry:
     def test_registry_matches_order(self):
-        assert set(WORKLOAD_ORDER) == set(WORKLOADS)
+        assert set(WORKLOADS) == set(registry.names())
+        assert WORKLOAD_ORDER == registry.paper_names()
         assert len(WORKLOAD_ORDER) == 8
+        assert len(registry.names()) == 11
 
     def test_unknown_workload_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(RegistryError):
             build_workload("nonexistent")
 
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Fail when any Markdown file contains a broken intra-repository link.
+
+Scans every ``*.md`` file in the repository for inline Markdown links
+(``[text](target)``) and reference definitions (``[label]: target``) and
+verifies that each *relative* target resolves to an existing file or
+directory.  External links (``http(s)://``, ``mailto:``) and pure anchors
+(``#section``) are skipped; a ``path#anchor`` target is checked for the
+path part only.
+
+Used by the CI ``docs`` job and wrapped by ``tests/test_docs.py`` so broken
+cross-links in docs/ fail the tier-1 suite too.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+#: Inline links, excluding images' alt text (the preceding ``!`` is allowed —
+#: image targets are checked like any other link).
+_INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_FENCE = re.compile(r"^(```|~~~)")
+
+_SKIP_DIRS = {".git", ".sim-cache", "__pycache__", ".pytest_cache", ".hypothesis"}
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Remove fenced code blocks and inline code spans (example links)."""
+
+    kept: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            kept.append(re.sub(r"`[^`]*`", "", line))
+    return "\n".join(kept)
+
+
+def iter_markdown_files(root: Path):
+    """Yield the repository's Markdown files.
+
+    Scoped to git-tracked files when ``root`` is a git checkout, so
+    untracked scratch notes or vendored trees cannot fail the check; falls
+    back to a filesystem walk (minus known junk directories) elsewhere —
+    e.g. the unit tests' tmp_path trees.
+    """
+
+    tracked = subprocess.run(
+        ["git", "-C", str(root), "ls-files", "-z", "--", "*.md"],
+        capture_output=True,
+    )
+    if tracked.returncode == 0 and tracked.stdout:
+        for name in sorted(tracked.stdout.decode("utf-8").split("\0")):
+            if name and (root / name).exists():
+                yield root / name
+        return
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in _SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Return one error string per broken relative link in ``path``."""
+
+    text = _strip_code_blocks(path.read_text(encoding="utf-8"))
+    targets = _INLINE_LINK.findall(text) + _REFERENCE_DEF.findall(text)
+    errors: list[str] = []
+    for target in targets:
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        candidate = target.split("#", 1)[0]
+        if not candidate:
+            continue
+        resolved = (root / candidate.lstrip("/")) if target.startswith("/") else (
+            path.parent / candidate
+        )
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+    return errors
+
+
+def check_tree(root: Path) -> list[str]:
+    """Check every Markdown file under ``root``; return all errors."""
+
+    errors: list[str] = []
+    for path in iter_markdown_files(root):
+        errors.extend(check_file(path, root))
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
+    errors = check_tree(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = sum(1 for _ in iter_markdown_files(root))
+    print(f"checked {checked} Markdown files: {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
