@@ -71,7 +71,7 @@ def bench_engine(bench_workloads) -> SimEngine:
     """One batch engine for the session: shared memo, optional parallelism."""
 
     if BENCH_JOBS > 1:
-        runner = MultiprocessRunner(BENCH_JOBS)
+        runner = MultiprocessRunner(BENCH_JOBS, workloads=bench_workloads)
     else:
         runner = SerialRunner(workloads=bench_workloads)
     return SimEngine(runner=runner)

@@ -78,24 +78,49 @@ class OutOfOrderCore:
     stats: CoreStats = field(default_factory=CoreStats)
 
     def run(self, trace: Trace) -> CoreStats:
-        """Simulate ``trace`` to completion and return the run statistics."""
+        """Simulate ``trace`` to completion and return the run statistics.
+
+        This is the simulator's innermost loop — every dynamic op of every
+        simulation funnels through it — so it is written flat: the trace is
+        consumed as structure-of-arrays columns, all counters accumulate in
+        locals (folded into :class:`CoreStats` once at the end), bound
+        methods replace per-op attribute chases, and the three-way ``max``
+        is unrolled.  The timing model itself is byte-for-byte the one
+        documented above; the golden-stats suite pins its outputs.
+        """
 
         config = self.config
-        hierarchy = self.hierarchy
-        stats = CoreStats()
-
         issue_width = config.issue_width
         rob_entries = config.rob_entries
         lq_entries = config.load_queue_entries
+        alu_latency = config.int_alu_latency
+        mispredict_penalty = config.branch_mispredict_penalty
         mispredict_every = (
             int(round(1.0 / config.branch_mispredict_rate))
             if config.branch_mispredict_rate > 0
             else 0
         )
 
-        completion: list[float] = [0.0] * len(trace)
+        hierarchy = self.hierarchy
+        demand_access = hierarchy.demand_access
+        prefetch_access = hierarchy.prefetch_access
+
+        kinds, addrs, counts, deps_table = trace.columns()
+        kind_load = int(OpKind.LOAD)
+        kind_store = int(OpKind.STORE)
+        kind_swpf = int(OpKind.SOFTWARE_PREFETCH)
+        kind_branch = int(OpKind.BRANCH)
+
+        total_ops = len(kinds)
+        completion: list[float] = [0.0] * total_ops
         retire_window: deque[float] = deque()
+        retire_append = retire_window.append
+        retire_popleft = retire_window.popleft
+        retire_len = 0
         outstanding_loads: deque[float] = deque()
+        loads_append = outstanding_loads.append
+        loads_popleft = outstanding_loads.popleft
+        loads_len = 0
 
         # Front-end model: a running "fetch clock" advanced by
         # instructions / width, plus the in-order-issue constraint that op i
@@ -105,69 +130,100 @@ class OutOfOrderCore:
         last_retire = 0.0
         branch_counter = 0
 
-        for index, op in enumerate(trace.ops):
-            stats.ops += 1
-            stats.instructions += op.count
+        instructions = 0
+        loads = 0
+        stores = 0
+        software_prefetches = 0
+        branches = 0
+        branch_mispredicts = 0
+        load_latency_total = 0.0
+        load_stall_total = 0.0
+
+        for index in range(total_ops):
+            count = counts[index]
+            instructions += count
 
             # Reorder-buffer constraint: the window holds rob_entries ops.
-            rob_ready = retire_window[0] if len(retire_window) >= rob_entries else 0.0
-
-            issue_time = max(fetch_clock, previous_issue, rob_ready)
-            fetch_clock = issue_time + op.count / issue_width
+            issue_time = fetch_clock
+            if previous_issue > issue_time:
+                issue_time = previous_issue
+            if retire_len >= rob_entries:
+                rob_ready = retire_window[0]
+                if rob_ready > issue_time:
+                    issue_time = rob_ready
+            fetch_clock = issue_time + count / issue_width
             previous_issue = issue_time
 
             deps_ready = issue_time
-            for dep in op.deps:
+            for dep in deps_table[index]:
                 dep_time = completion[dep]
                 if dep_time > deps_ready:
                     deps_ready = dep_time
 
-            kind = op.kind
-            if kind == OpKind.LOAD:
-                stats.loads += 1
+            kind = kinds[index]
+            if kind == kind_load:
+                loads += 1
                 # Load-queue constraint: a bounded number of loads in flight.
-                if len(outstanding_loads) >= lq_entries:
-                    lq_ready = outstanding_loads.popleft()
+                if loads_len >= lq_entries:
+                    lq_ready = loads_popleft()
+                    loads_len -= 1
                     if lq_ready > deps_ready:
                         deps_ready = lq_ready
-                result = hierarchy.demand_access(op.addr, deps_ready)
-                complete = result.completion_time
-                outstanding_loads.append(complete)
-                stats.load_latency_total += complete - deps_ready
-                if complete - deps_ready > self.config.int_alu_latency:
-                    stats.load_stall_total += complete - deps_ready
-            elif kind == OpKind.STORE:
-                stats.stores += 1
+                complete = demand_access(addrs[index], deps_ready).completion_time
+                loads_append(complete)
+                loads_len += 1
+                latency = complete - deps_ready
+                load_latency_total += latency
+                if latency > alu_latency:
+                    load_stall_total += latency
+            elif kind == kind_store:
+                stores += 1
                 # Stores retire through the store buffer without stalling the
                 # core; the cache access still happens for occupancy/traffic.
-                hierarchy.demand_access(op.addr, deps_ready, write=True)
-                complete = deps_ready + config.int_alu_latency
-            elif kind == OpKind.SOFTWARE_PREFETCH:
-                stats.software_prefetches += 1
+                demand_access(addrs[index], deps_ready, write=True)
+                complete = deps_ready + alu_latency
+            elif kind == kind_swpf:
+                software_prefetches += 1
                 # Non-blocking: the prefetch is issued once its address is
                 # ready; the instruction itself completes immediately.
-                hierarchy.prefetch_access(op.addr, deps_ready)
-                complete = deps_ready + config.int_alu_latency
-            elif kind == OpKind.BRANCH:
-                stats.branches += 1
+                prefetch_access(addrs[index], deps_ready)
+                complete = deps_ready + alu_latency
+            elif kind == kind_branch:
+                branches += 1
                 branch_counter += 1
-                complete = deps_ready + config.int_alu_latency
+                complete = deps_ready + alu_latency
                 if mispredict_every and branch_counter % mispredict_every == 0:
-                    stats.branch_mispredicts += 1
+                    branch_mispredicts += 1
                     # A mispredict flushes the front end: later ops cannot be
                     # fetched until the branch resolves plus the penalty.
-                    fetch_clock = max(fetch_clock, complete + config.branch_mispredict_penalty)
+                    flush_until = complete + mispredict_penalty
+                    if flush_until > fetch_clock:
+                        fetch_clock = flush_until
             else:  # COMPUTE (and CONFIG, which costs a single instruction)
-                complete = max(fetch_clock, deps_ready) + config.int_alu_latency
+                base = fetch_clock if fetch_clock > deps_ready else deps_ready
+                complete = base + alu_latency
 
             completion[index] = complete
 
-            retire_time = max(complete, last_retire)
-            last_retire = retire_time
-            retire_window.append(retire_time)
-            if len(retire_window) > rob_entries:
-                retire_window.popleft()
+            if complete > last_retire:
+                last_retire = complete
+            retire_append(last_retire)
+            retire_len += 1
+            if retire_len > rob_entries:
+                retire_popleft()
+                retire_len -= 1
 
-        stats.cycles = last_retire
+        stats = CoreStats(
+            cycles=last_retire,
+            instructions=instructions,
+            ops=total_ops,
+            loads=loads,
+            stores=stores,
+            software_prefetches=software_prefetches,
+            branches=branches,
+            branch_mispredicts=branch_mispredicts,
+            load_latency_total=load_latency_total,
+            load_stall_total=load_stall_total,
+        )
         self.stats = stats
         return stats

@@ -56,6 +56,26 @@ class Trace:
 
     def __init__(self, ops: Sequence[TraceOp]) -> None:
         self._ops = list(ops)
+        self._columns: tuple[list[int], list[int], list[int], list[tuple[int, ...]]] | None = None
+
+    def columns(self) -> tuple[list[int], list[int], list[int], list[tuple[int, ...]]]:
+        """Return ``(kinds, addrs, counts, deps)`` as parallel flat lists.
+
+        The structure-of-arrays view is what the core's replay loop iterates:
+        plain-int kind codes and pre-extracted fields avoid four dataclass
+        attribute chases per dynamic op.  Computed once and memoised — traces
+        are immutable after construction and replayed once per mode.
+        """
+
+        if self._columns is None:
+            ops = self._ops
+            self._columns = (
+                [int(op.kind) for op in ops],
+                [op.addr for op in ops],
+                [op.count for op in ops],
+                [op.deps for op in ops],
+            )
+        return self._columns
 
     def __len__(self) -> int:
         return len(self._ops)

@@ -243,6 +243,17 @@ class AddressSpace:
         """
 
         base = line_address(addr)
+        # Fast path (the prefetcher reads one line per observation/fill):
+        # when the whole line sits inside a single region, slice its buffer
+        # once instead of paying a bisect + bounds check per word.
+        index = bisect.bisect_right(self._region_bases, base) - 1
+        if index >= 0:
+            region = self._regions[index]
+            if base + WORDS_PER_LINE * WORD_BYTES <= region.end:
+                start = (base - region.base) // WORD_BYTES
+                return self._buffers[index][start : start + WORDS_PER_LINE].astype(
+                    np.int64
+                ).tolist()
         words: list[int] = []
         for offset in range(WORDS_PER_LINE):
             word_addr = base + offset * WORD_BYTES

@@ -13,11 +13,10 @@ they only update the tag state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..config import CacheConfig
-from .layout import line_address
 
 
 @dataclass
@@ -97,29 +96,53 @@ class CacheLine:
 
 
 class Cache:
-    """A single level of set-associative cache."""
+    """A single level of set-associative cache.
+
+    Hot-path layout: each set is a plain dict ordered by recency (oldest
+    entry first), so a hit is one dict probe, an LRU update is a delete +
+    re-insert, and the eviction victim is ``next(iter(set))`` — no per-miss
+    scan.  Set index and tag come from precomputed shifts/masks instead of
+    re-deriving ``line_address(...) // line_bytes`` on every access.
+    """
 
     def __init__(self, config: CacheConfig) -> None:
         config.validate()
         self.config = config
         self._num_sets = config.num_sets
+        line_bytes = config.line_bytes
+        # num_sets is validated to be a power of two; line_bytes normally is
+        # (64), but fall back to division for exotic configurations.
+        self._line_shift = (
+            line_bytes.bit_length() - 1 if line_bytes & (line_bytes - 1) == 0 else None
+        )
+        self._line_bytes = line_bytes
+        self._set_mask = self._num_sets - 1
+        self._set_shift = self._num_sets.bit_length() - 1
         self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(self._num_sets)]
         self._lru_counter = 0
         self.stats = CacheStats()
 
     # ------------------------------------------------------------- addressing
 
-    def _set_and_tag(self, addr: int) -> tuple[int, int]:
-        line = line_address(addr, self.config.line_bytes) // self.config.line_bytes
-        return line % self._num_sets, line // self._num_sets
+    def probe(self, addr: int) -> tuple[dict[int, CacheLine], int]:
+        """Return ``(cache_set, tag)`` for ``addr`` — the one-probe hot path.
+
+        The caller may read ``cache_set.get(tag)`` and, for a hit, pass the
+        results straight to :meth:`touch_entry` / :meth:`fill_entry` without
+        recomputing the set and tag.
+        """
+
+        line_shift = self._line_shift
+        line = addr >> line_shift if line_shift is not None else addr // self._line_bytes
+        return self._sets[line & self._set_mask], line >> self._set_shift
 
     # ----------------------------------------------------------------- lookup
 
     def lookup(self, addr: int) -> Optional[CacheLine]:
         """Return the line containing ``addr`` if resident or in flight."""
 
-        set_index, tag = self._set_and_tag(addr)
-        return self._sets[set_index].get(tag)
+        cache_set, tag = self.probe(addr)
+        return cache_set.get(tag)
 
     def contains(self, addr: int, time: float) -> bool:
         """Return True when the line is resident and filled by ``time``."""
@@ -130,11 +153,22 @@ class Cache:
     def touch(self, addr: int, *, write: bool = False) -> None:
         """Update LRU state (and dirtiness) for a hit on ``addr``."""
 
-        line = self.lookup(addr)
-        if line is None:
-            return
+        cache_set, tag = self.probe(addr)
+        line = cache_set.get(tag)
+        if line is not None:
+            self.touch_entry(cache_set, tag, line, write=write)
+
+    def touch_entry(
+        self, cache_set: dict[int, CacheLine], tag: int, line: CacheLine, *, write: bool = False
+    ) -> None:
+        """LRU/dirty/prefetch-used update for a line already probed via :meth:`probe`."""
+
         self._lru_counter += 1
         line.lru_stamp = self._lru_counter
+        # Intrusive LRU: each set's dict is kept in recency order (oldest
+        # first), so eviction is O(1) instead of a per-miss stamp scan.
+        del cache_set[tag]
+        cache_set[tag] = line
         if write:
             line.dirty = True
         if line.prefetched and not line.used:
@@ -156,20 +190,51 @@ class Cache:
         The line is inserted immediately but only becomes usable (a "hit") at
         ``fill_time``; accesses between now and then merge with the in-flight
         fill.
+
+        Inserting a tag that is already resident (or in flight) *merges* with
+        the existing line rather than replacing it: ``dirty`` and ``used``
+        state is preserved (so ``dirty_evictions`` and ``prefetch_used`` stay
+        correct), the line becomes available at the earlier of the two fill
+        times, and a prefetch landing on a line it did not originally bring
+        in does not count an extra ``prefetch_fills``.
         """
 
-        set_index, tag = self._set_and_tag(addr)
-        cache_set = self._sets[set_index]
-        victim: Optional[CacheLine] = None
-        if tag not in cache_set and len(cache_set) >= self.config.associativity:
-            victim_tag = min(cache_set, key=lambda t: cache_set[t].lru_stamp)
-            victim = cache_set.pop(victim_tag)
-            self.stats.evictions += 1
-            if victim.dirty:
-                self.stats.dirty_evictions += 1
-            if victim.prefetched and not victim.used:
-                self.stats.prefetch_evicted_unused += 1
+        cache_set, tag = self.probe(addr)
+        return self.fill_entry(cache_set, tag, fill_time, prefetched=prefetched, write=write)
+
+    def fill_entry(
+        self,
+        cache_set: dict[int, CacheLine],
+        tag: int,
+        fill_time: float,
+        *,
+        prefetched: bool = False,
+        write: bool = False,
+    ) -> Optional[CacheLine]:
+        """:meth:`insert` for a set/tag already probed via :meth:`probe`."""
+
         self._lru_counter += 1
+        existing = cache_set.get(tag)
+        if existing is not None:
+            # Merge: never drop dirty/used state or double-count fills.
+            if fill_time < existing.fill_time:
+                existing.fill_time = fill_time
+            if write:
+                existing.dirty = True
+            existing.lru_stamp = self._lru_counter
+            del cache_set[tag]  # refresh intrusive LRU order (oldest first)
+            cache_set[tag] = existing
+            return None
+        victim: Optional[CacheLine] = None
+        if len(cache_set) >= self.config.associativity:
+            victim_tag = next(iter(cache_set))
+            victim = cache_set.pop(victim_tag)
+            stats = self.stats
+            stats.evictions += 1
+            if victim.dirty:
+                stats.dirty_evictions += 1
+            if victim.prefetched and not victim.used:
+                stats.prefetch_evicted_unused += 1
         cache_set[tag] = CacheLine(
             tag=tag,
             fill_time=fill_time,

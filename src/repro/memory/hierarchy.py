@@ -24,8 +24,7 @@ time before the core looks at the cache state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, NamedTuple, Optional
 
 from ..config import SystemConfig
 from ..errors import SimulationError
@@ -50,9 +49,12 @@ AdvanceHook = Callable[[float], None]
 FillCallback = Callable[[int, float], None]
 
 
-@dataclass(frozen=True)
-class AccessResult:
-    """Outcome of a single demand access."""
+class AccessResult(NamedTuple):
+    """Outcome of a single demand access.
+
+    A ``NamedTuple`` rather than a dataclass: one is constructed per demand
+    access, and tuple construction is markedly cheaper on the hot path.
+    """
 
     completion_time: float
     level: str
@@ -79,6 +81,9 @@ class MemoryHierarchy:
         self.dropped_prefetches = 0
         self._demand_snoop: Optional[SnoopHook] = None
         self._advance_hook: Optional[AdvanceHook] = None
+        # Hot-path constants, hoisted out of the per-access attribute chain.
+        self._l1_hit_latency = config.l1.hit_latency
+        self._l2_hit_latency = config.l2.hit_latency
 
     # ----------------------------------------------------------------- hooks
 
@@ -99,46 +104,54 @@ class MemoryHierarchy:
 
         if time < 0:
             raise SimulationError("access time must be non-negative")
-        if self._advance_hook is not None:
-            self._advance_hook(time)
+        advance = self._advance_hook
+        if advance is not None:
+            advance(time)
 
-        result = self._do_demand_access(addr, time, write=write)
-        if not write and self._demand_snoop is not None:
-            self._demand_snoop(addr, time + result.translation_latency, result.level)
+        result = self._demand_lookup(addr, time, write)
+        if not write:
+            snoop = self._demand_snoop
+            if snoop is not None:
+                snoop(addr, time + result.translation_latency, result.level)
         return result
 
-    def _do_demand_access(self, addr: int, time: float, *, write: bool) -> AccessResult:
+    def _demand_lookup(self, addr: int, time: float, write: bool) -> AccessResult:
         translation_latency = self.tlb.translate(addr, time)
         t = time + translation_latency
 
+        l1 = self.l1
+        l1_stats = l1.stats
         if write:
-            self.l1.stats.demand_write_accesses += 1
+            l1_stats.demand_write_accesses += 1
         else:
-            self.l1.stats.demand_read_accesses += 1
+            l1_stats.demand_read_accesses += 1
 
-        line = self.l1.lookup(addr)
-        if line is not None and line.fill_time <= t:
-            self.l1.touch(addr, write=write)
-            if write:
-                self.l1.stats.demand_write_hits += 1
-            else:
-                self.l1.stats.demand_read_hits += 1
-            completion = t + self.config.l1.hit_latency
-            return AccessResult(completion, "l1", translation_latency)
-
+        # One probe serves the hit, the in-flight merge and the miss fill.
+        cache_set, tag = l1.probe(addr)
+        line = cache_set.get(tag)
+        hit_latency = self._l1_hit_latency
         if line is not None:
+            fill_time = line.fill_time
+            if fill_time <= t:
+                l1.touch_entry(cache_set, tag, line, write=write)
+                if write:
+                    l1_stats.demand_write_hits += 1
+                else:
+                    l1_stats.demand_read_hits += 1
+                return AccessResult(t + hit_latency, "l1", translation_latency)
             # The line is already being filled (by a prefetch or an earlier
             # miss); this access merges with the outstanding fill.
-            self.l1.stats.inflight_merges += 1
-            self.l1.touch(addr, write=write)
-            completion = max(line.fill_time, t + self.config.l1.hit_latency)
+            l1_stats.inflight_merges += 1
+            l1.touch_entry(cache_set, tag, line, write=write)
+            earliest = t + hit_latency
+            completion = fill_time if fill_time > earliest else earliest
             return AccessResult(completion, "l1_inflight", translation_latency)
 
         # L1 miss.
-        self.l1.stats.misses += 1
+        l1_stats.misses += 1
         grant = self.l1_mshrs.allocate(t)
-        data_time, level = self._access_l2(addr, grant + self.config.l1.hit_latency, is_prefetch=False)
-        self.l1.insert(addr, data_time, prefetched=False, write=write)
+        data_time, level = self._access_l2(addr, grant + hit_latency, is_prefetch=False)
+        l1.fill_entry(cache_set, tag, data_time, prefetched=False, write=write)
         self.l1_mshrs.register_fill(data_time)
         return AccessResult(data_time, level, translation_latency)
 
@@ -162,27 +175,30 @@ class MemoryHierarchy:
             self.dropped_prefetches += 1
             return None
 
-        self.l1.stats.prefetch_requests += 1
+        l1 = self.l1
+        l1_stats = l1.stats
+        l1_stats.prefetch_requests += 1
         translation_latency = self.tlb.translate(addr, time)
         t = time + translation_latency
 
-        line = self.l1.lookup(addr)
-        if line is not None and line.fill_time <= t:
-            self.l1.stats.prefetch_redundant += 1
-            available = t + self.config.l1.hit_latency
-            if on_fill is not None:
-                on_fill(addr, available)
-            return available
-
+        cache_set, tag = l1.probe(addr)
+        line = cache_set.get(tag)
         if line is not None:
-            self.l1.stats.prefetch_merged += 1
+            fill_time = line.fill_time
+            if fill_time <= t:
+                l1_stats.prefetch_redundant += 1
+                available = t + self._l1_hit_latency
+                if on_fill is not None:
+                    on_fill(addr, available)
+                return available
+            l1_stats.prefetch_merged += 1
             if on_fill is not None:
-                on_fill(addr, line.fill_time)
-            return line.fill_time
+                on_fill(addr, fill_time)
+            return fill_time
 
         grant = self.l1_mshrs.allocate(t)
-        data_time, _level = self._access_l2(addr, grant + self.config.l1.hit_latency, is_prefetch=True)
-        self.l1.insert(addr, data_time, prefetched=True)
+        data_time, _level = self._access_l2(addr, grant + self._l1_hit_latency, is_prefetch=True)
+        l1.fill_entry(cache_set, tag, data_time, prefetched=True)
         self.l1_mshrs.register_fill(data_time)
         if on_fill is not None:
             on_fill(addr, data_time)
@@ -196,29 +212,32 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------- L2
 
     def _access_l2(self, addr: int, time: float, *, is_prefetch: bool) -> tuple[float, str]:
-        line = self.l2.lookup(addr)
+        l2 = self.l2
+        l2_stats = l2.stats
         if is_prefetch:
-            self.l2.stats.prefetch_requests += 1
+            l2_stats.prefetch_requests += 1
         else:
-            self.l2.stats.demand_read_accesses += 1
+            l2_stats.demand_read_accesses += 1
 
-        if line is not None and line.fill_time <= time:
-            self.l2.touch(addr)
-            if not is_prefetch:
-                self.l2.stats.demand_read_hits += 1
-            return time + self.config.l2.hit_latency, "l2"
-
+        cache_set, tag = l2.probe(addr)
+        line = cache_set.get(tag)
+        hit_latency = self._l2_hit_latency
         if line is not None:
-            self.l2.stats.inflight_merges += 1
-            self.l2.touch(addr)
-            return max(line.fill_time, time + self.config.l2.hit_latency), "l2_inflight"
+            fill_time = line.fill_time
+            if fill_time <= time:
+                l2.touch_entry(cache_set, tag, line)
+                if not is_prefetch:
+                    l2_stats.demand_read_hits += 1
+                return time + hit_latency, "l2"
+            l2_stats.inflight_merges += 1
+            l2.touch_entry(cache_set, tag, line)
+            earliest = time + hit_latency
+            return (fill_time if fill_time > earliest else earliest), "l2_inflight"
 
-        self.l2.stats.misses += 1
+        l2_stats.misses += 1
         grant = self.l2_mshrs.allocate(time)
-        dram_completion = self.dram.access(
-            grant + self.config.l2.hit_latency, is_prefetch=is_prefetch
-        )
-        victim = self.l2.insert(addr, dram_completion, prefetched=is_prefetch)
+        dram_completion = self.dram.access(grant + hit_latency, is_prefetch=is_prefetch)
+        victim = l2.fill_entry(cache_set, tag, dram_completion, prefetched=is_prefetch)
         if victim is not None and victim.dirty:
             self.dram.stats.writebacks += 1
         self.l2_mshrs.register_fill(dram_completion)

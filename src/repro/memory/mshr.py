@@ -51,12 +51,20 @@ class MSHRFile:
 
         If the file is full the allocation is delayed until the earliest
         outstanding fill completes; the delay is accounted as a stall.
+        (Inlined reclaim: this runs once per cache miss, so it avoids the
+        double ``next_free_time``/``_reclaim`` call chain.)
         """
 
-        grant = self.next_free_time(now)
-        if grant > now:
+        completions = self._completions
+        while completions and completions[0] <= now:
+            heapq.heappop(completions)
+        if len(completions) < self._capacity:
+            grant = now
+        else:
+            grant = completions[0]
             self.total_stall_cycles += grant - now
-            self._reclaim(grant)
+            while completions and completions[0] <= grant:
+                heapq.heappop(completions)
         self.total_allocations += 1
         return grant
 

@@ -11,11 +11,9 @@ discard the prefetch").
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..config import TLBConfig
-from .layout import page_number
 
 
 @dataclass
@@ -40,25 +38,35 @@ class TLBStats:
 
 
 class _LRUSet:
-    """A small fully-associative LRU structure keyed by virtual page number."""
+    """A small fully-associative LRU structure keyed by virtual page number.
+
+    A plain dict in recency order (oldest first): delete + re-insert moves a
+    key to the end, ``next(iter(...))`` is the LRU victim.  Equivalent to an
+    ``OrderedDict`` with ``move_to_end``/``popitem(last=False)`` but faster —
+    this sits on the per-access translation path.
+    """
 
     def __init__(self, capacity: int) -> None:
         self._capacity = capacity
-        self._entries: OrderedDict[int, None] = OrderedDict()
+        self._entries: dict[int, None] = {}
 
     def lookup(self, page: int) -> bool:
-        if page in self._entries:
-            self._entries.move_to_end(page)
+        entries = self._entries
+        if page in entries:
+            del entries[page]
+            entries[page] = None
             return True
         return False
 
     def insert(self, page: int) -> None:
-        if page in self._entries:
-            self._entries.move_to_end(page)
+        entries = self._entries
+        if page in entries:
+            del entries[page]
+            entries[page] = None
             return
-        if len(self._entries) >= self._capacity:
-            self._entries.popitem(last=False)
-        self._entries[page] = None
+        if len(entries) >= self._capacity:
+            del entries[next(iter(entries))]
+        entries[page] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -72,28 +80,40 @@ class TLB:
         self._l1 = _LRUSet(config.l1_entries)
         self._l2 = _LRUSet(config.l2_entries)
         self.stats = TLBStats()
+        # Hot-path constants: translate() runs once per demand access and
+        # once per issued prefetch, so the config chain and latency floats
+        # are resolved here instead of per call.
+        self._page_bytes = config.page_bytes
+        self._l2_latency = float(config.l2_hit_latency)
+        self._walk_latency = float(config.l2_hit_latency + config.walk_latency)
 
     def translate(self, addr: int, time: float) -> float:
         """Return the translation latency (in cycles) for ``addr``.
 
         ``time`` is accepted for interface symmetry with the caches; the TLB
-        model itself is stateless in time.
+        model itself is stateless in time.  The L1 hit path (the vast
+        majority of translations) is inlined: one dict probe plus the
+        delete/re-insert recency update.
         """
 
         del time  # latency-only model
-        page = page_number(addr, self.config.page_bytes)
-        self.stats.accesses += 1
-        if self._l1.lookup(page):
-            self.stats.l1_hits += 1
+        page = addr // self._page_bytes
+        stats = self.stats
+        stats.accesses += 1
+        l1_entries = self._l1._entries
+        if page in l1_entries:
+            del l1_entries[page]
+            l1_entries[page] = None
+            stats.l1_hits += 1
             return 0.0
         if self._l2.lookup(page):
-            self.stats.l2_hits += 1
+            stats.l2_hits += 1
             self._l1.insert(page)
-            return float(self.config.l2_hit_latency)
-        self.stats.walks += 1
+            return self._l2_latency
+        stats.walks += 1
         self._l2.insert(page)
         self._l1.insert(page)
-        return float(self.config.l2_hit_latency + self.config.walk_latency)
+        return self._walk_latency
 
     def reset(self) -> None:
         self._l1 = _LRUSet(self.config.l1_entries)

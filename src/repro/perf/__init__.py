@@ -1,0 +1,46 @@
+"""Performance tracking: wall-clock benchmark snapshots and trajectory diffs.
+
+See :mod:`repro.perf.track` for the snapshot/diff machinery and
+``tools/perf_track.py`` for the command-line entry point that appends
+``BENCH_<n>.json`` points to the repository's performance trajectory.
+"""
+
+from .track import (
+    DEFAULT_MODES,
+    FIGURE7_REPRESENTATIVE,
+    BenchRecord,
+    BenchSnapshot,
+    RecordDiff,
+    SnapshotDiff,
+    append_trajectory_point,
+    diff_snapshots,
+    environment_matches,
+    format_diff,
+    format_snapshot,
+    latest_snapshot_path,
+    load_snapshot,
+    next_snapshot_path,
+    run_benchmarks,
+    save_snapshot,
+    snapshot_paths,
+)
+
+__all__ = [
+    "DEFAULT_MODES",
+    "FIGURE7_REPRESENTATIVE",
+    "BenchRecord",
+    "BenchSnapshot",
+    "RecordDiff",
+    "SnapshotDiff",
+    "append_trajectory_point",
+    "diff_snapshots",
+    "environment_matches",
+    "format_diff",
+    "format_snapshot",
+    "latest_snapshot_path",
+    "load_snapshot",
+    "next_snapshot_path",
+    "run_benchmarks",
+    "save_snapshot",
+    "snapshot_paths",
+]

@@ -1,0 +1,434 @@
+"""Wall-clock performance tracking for the simulation hot path.
+
+Every PR that touches the simulator needs a measured trajectory: how fast is
+the per-op/per-access path *now*, and did this change regress it?  This
+module provides the pieces behind ``tools/perf_track.py``:
+
+* :func:`run_benchmarks` times :func:`repro.sim.system.simulate` for every
+  requested ``(workload, mode)`` pair (workloads built once, outside the
+  timed region) and returns a :class:`BenchSnapshot`;
+* snapshots serialise to ``BENCH_<n>.json`` files — an append-only numbered
+  trajectory at the repository root, so ``BENCH_0.json`` is the pre-overhaul
+  baseline and every later snapshot is one measured point after it;
+* :func:`diff_snapshots` compares two snapshots record-by-record and reports
+  per-point and total speedups, which is how a PR proves an optimisation
+  (or how CI catches a regression).
+
+Timing records *wall time of the simulation call only*: workload build,
+trace generation and result post-processing are excluded, because those are
+not the hot path the overhaul targets.  Each point is measured ``repeats``
+times and the minimum is kept (the usual best-of-N noise filter for
+micro-benchmarks).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from ..config import SystemConfig
+from ..sim.modes import PrefetchMode, mode_available
+from ..sim.system import simulate
+from ..workloads import build_workload, registry
+
+#: Snapshot schema version; bump when the JSON layout changes.
+SCHEMA_VERSION = 1
+
+#: File-name pattern of trajectory snapshots.
+_SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: The (workload, mode) pair timed by ``benchmarks/bench_figure7.py`` —
+#: the headline number of the perf trajectory.
+FIGURE7_REPRESENTATIVE = ("randacc", "manual")
+
+#: Modes timed by default: the no-prefetch baseline (pure core + hierarchy
+#: path), a conventional hardware prefetcher, and the programmable engine.
+DEFAULT_MODES = (PrefetchMode.NONE, PrefetchMode.STRIDE, PrefetchMode.MANUAL)
+
+
+@dataclass
+class BenchRecord:
+    """Timing of one simulated ``(workload, mode)`` point."""
+
+    workload: str
+    mode: str
+    wall_seconds: float
+    ops: int
+    instructions: int
+    cycles: float
+
+    @property
+    def ops_per_second(self) -> float:
+        """Trace ops replayed per wall-clock second (the hot-path rate)."""
+
+        return self.ops / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "workload": self.workload,
+            "mode": self.mode,
+            "wall_seconds": self.wall_seconds,
+            "ops": self.ops,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ops_per_second": self.ops_per_second,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "BenchRecord":
+        return cls(
+            workload=str(data["workload"]),
+            mode=str(data["mode"]),
+            wall_seconds=float(data["wall_seconds"]),
+            ops=int(data["ops"]),
+            instructions=int(data["instructions"]),
+            cycles=float(data["cycles"]),
+        )
+
+
+@dataclass
+class BenchSnapshot:
+    """One point of the performance trajectory (the contents of a BENCH file)."""
+
+    scale: str
+    repeats: int
+    records: list[BenchRecord] = field(default_factory=list)
+    label: str = ""
+    python: str = field(default_factory=platform.python_version)
+    machine: str = field(default_factory=platform.machine)
+    schema: int = SCHEMA_VERSION
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(record.wall_seconds for record in self.records)
+
+    def record_for(self, workload: str, mode: str) -> Optional[BenchRecord]:
+        for record in self.records:
+            if record.workload == workload and record.mode == mode:
+                return record
+        return None
+
+    @property
+    def figure7_representative(self) -> Optional[BenchRecord]:
+        """The record matching the Figure 7 benchmark's timed body."""
+
+        return self.record_for(*FIGURE7_REPRESENTATIVE)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "schema": self.schema,
+            "scale": self.scale,
+            "repeats": self.repeats,
+            "label": self.label,
+            "python": self.python,
+            "machine": self.machine,
+            "total_wall_seconds": self.total_wall_seconds,
+            "records": [record.as_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "BenchSnapshot":
+        return cls(
+            scale=str(data["scale"]),
+            repeats=int(data["repeats"]),
+            records=[BenchRecord.from_dict(r) for r in data.get("records", [])],
+            label=str(data.get("label", "")),
+            python=str(data.get("python", "")),
+            machine=str(data.get("machine", "")),
+            schema=int(data.get("schema", SCHEMA_VERSION)),
+        )
+
+
+@dataclass
+class RecordDiff:
+    """Old-vs-new comparison of one benchmark point."""
+
+    workload: str
+    mode: str
+    old_wall: float
+    new_wall: float
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock speedup (> 1 means the new snapshot is faster)."""
+
+        return self.old_wall / self.new_wall if self.new_wall > 0 else 0.0
+
+
+@dataclass
+class SnapshotDiff:
+    """Record-by-record comparison of two snapshots."""
+
+    old_label: str
+    new_label: str
+    diffs: list[RecordDiff] = field(default_factory=list)
+    #: Non-empty when the snapshots are not directly comparable (different
+    #: scales); the diff is then empty by construction.
+    note: str = ""
+
+    @property
+    def total_old(self) -> float:
+        return sum(diff.old_wall for diff in self.diffs)
+
+    @property
+    def total_new(self) -> float:
+        return sum(diff.new_wall for diff in self.diffs)
+
+    @property
+    def total_speedup(self) -> float:
+        return self.total_old / self.total_new if self.total_new > 0 else 0.0
+
+    @property
+    def figure7_speedup(self) -> Optional[float]:
+        workload, mode = FIGURE7_REPRESENTATIVE
+        for diff in self.diffs:
+            if diff.workload == workload and diff.mode == mode:
+                return diff.speedup
+        return None
+
+    def worst_regression(self) -> float:
+        """Largest fractional slowdown across records (0.0 when none regressed)."""
+
+        worst = 0.0
+        for diff in self.diffs:
+            if diff.old_wall > 0:
+                worst = max(worst, diff.new_wall / diff.old_wall - 1.0)
+        return worst
+
+
+# ------------------------------------------------------------------ running
+
+
+def run_benchmarks(
+    *,
+    workloads: Optional[Iterable[str]] = None,
+    modes: Sequence[PrefetchMode] = DEFAULT_MODES,
+    scale: str = "tiny",
+    seed: int = 42,
+    repeats: int = 3,
+    config: Optional[SystemConfig] = None,
+    label: str = "",
+) -> BenchSnapshot:
+    """Time ``simulate()`` for every available ``(workload, mode)`` point.
+
+    Workloads are built once, outside the timed region; every point is run
+    ``repeats`` times and the fastest run is recorded.  Unavailable modes
+    (e.g. software prefetching on PageRank) are skipped, mirroring the
+    figure drivers.
+    """
+
+    names = list(workloads) if workloads is not None else registry.paper_names()
+    system_config = config if config is not None else SystemConfig.scaled()
+    snapshot = BenchSnapshot(scale=scale, repeats=max(1, repeats), label=label)
+
+    for name in names:
+        workload = build_workload(name, scale=scale, seed=seed)
+        for mode in modes:
+            if not mode_available(workload, mode):
+                continue
+            best: Optional[float] = None
+            result = None
+            for _ in range(snapshot.repeats):
+                start = time.perf_counter()
+                result = simulate(workload, mode, system_config)
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best:
+                    best = elapsed
+            assert result is not None and best is not None
+            snapshot.records.append(
+                BenchRecord(
+                    workload=name,
+                    mode=mode.value,
+                    wall_seconds=best,
+                    ops=int(result.core.get("ops", 0)),
+                    instructions=result.instructions,
+                    cycles=result.cycles,
+                )
+            )
+    return snapshot
+
+
+# ------------------------------------------------------------ trajectory IO
+
+
+def snapshot_paths(directory: Union[str, Path]) -> list[Path]:
+    """Return the trajectory's BENCH files in ascending numeric order."""
+
+    directory = Path(directory)
+    numbered = []
+    for path in directory.glob("BENCH_*.json"):
+        match = _SNAPSHOT_RE.match(path.name)
+        if match:
+            numbered.append((int(match.group(1)), path))
+    return [path for _, path in sorted(numbered)]
+
+
+def latest_snapshot_path(
+    directory: Union[str, Path], *, scale: Optional[str] = None
+) -> Optional[Path]:
+    """Newest trajectory snapshot, optionally the newest at a given scale.
+
+    With ``scale`` set, snapshots taken at other scales (e.g. a ``small``
+    point appended between ``tiny`` CI points) are skipped so diffs and
+    regression gates always compare like with like.
+    """
+
+    paths = snapshot_paths(directory)
+    if scale is None:
+        return paths[-1] if paths else None
+    for path in reversed(paths):
+        try:
+            if load_snapshot(path).scale == scale:
+                return path
+        except (OSError, ValueError, KeyError):
+            continue
+    return None
+
+
+def next_snapshot_path(directory: Union[str, Path]) -> Path:
+    """The next unused ``BENCH_<n>.json`` name in ``directory``."""
+
+    paths = snapshot_paths(directory)
+    if not paths:
+        return Path(directory) / "BENCH_0.json"
+    last = int(_SNAPSHOT_RE.match(paths[-1].name).group(1))
+    return Path(directory) / f"BENCH_{last + 1}.json"
+
+
+def load_snapshot(path: Union[str, Path]) -> BenchSnapshot:
+    with open(path, "r", encoding="utf-8") as handle:
+        return BenchSnapshot.from_dict(json.load(handle))
+
+
+def save_snapshot(snapshot: BenchSnapshot, path: Union[str, Path]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot.as_dict(), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------- diffing
+
+
+def diff_snapshots(old: BenchSnapshot, new: BenchSnapshot) -> SnapshotDiff:
+    """Compare the points present in both snapshots.
+
+    Snapshots taken at different workload scales are not comparable — the
+    records match by ``(workload, mode)`` but time different trace lengths —
+    so the diff comes back empty with an explanatory :attr:`SnapshotDiff.note`.
+    """
+
+    diff = SnapshotDiff(old_label=old.label, new_label=new.label)
+    if old.scale != new.scale:
+        diff.note = (
+            f"snapshots are not comparable: scale {old.scale!r} vs {new.scale!r}"
+        )
+        return diff
+    for record in new.records:
+        previous = old.record_for(record.workload, record.mode)
+        if previous is None:
+            continue
+        diff.diffs.append(
+            RecordDiff(
+                workload=record.workload,
+                mode=record.mode,
+                old_wall=previous.wall_seconds,
+                new_wall=record.wall_seconds,
+            )
+        )
+    return diff
+
+
+def format_snapshot(snapshot: BenchSnapshot) -> str:
+    """Render one snapshot as an aligned console table."""
+
+    lines = [
+        f"Perf snapshot: scale={snapshot.scale} repeats={snapshot.repeats} "
+        f"python={snapshot.python}"
+        + (f"  [{snapshot.label}]" if snapshot.label else ""),
+        f"{'workload':<12} {'mode':<10} {'wall (ms)':>10} {'ops':>9} {'ops/s':>12}",
+    ]
+    for record in snapshot.records:
+        lines.append(
+            f"{record.workload:<12} {record.mode:<10} "
+            f"{record.wall_seconds * 1e3:>10.2f} {record.ops:>9} "
+            f"{record.ops_per_second:>12,.0f}"
+        )
+    lines.append(f"total wall: {snapshot.total_wall_seconds * 1e3:.1f} ms")
+    return "\n".join(lines)
+
+
+def environment_matches(old: BenchSnapshot, new: BenchSnapshot) -> bool:
+    """Whether two snapshots were measured on comparable environments.
+
+    Wall-clock comparisons across different machines or interpreter versions
+    measure the hardware delta, not a code change, so regression gates treat
+    a mismatched baseline as advisory.  Python versions compare on
+    major.minor — micro releases do not shift performance the way a new
+    minor version (with interpreter optimisations) does.
+    """
+
+    def minor(version: str) -> str:
+        return ".".join(version.split(".")[:2])
+
+    return old.machine == new.machine and minor(old.python) == minor(new.python)
+
+
+def append_trajectory_point(
+    directory: Union[str, Path],
+    *,
+    scale: str = "tiny",
+    workloads: Optional[Iterable[str]] = None,
+    modes: Sequence[PrefetchMode] = DEFAULT_MODES,
+    repeats: int = 3,
+    seed: int = 42,
+    label: str = "",
+) -> tuple[BenchSnapshot, Optional[SnapshotDiff], Path]:
+    """Measure, diff against the newest same-scale snapshot, and append.
+
+    The shared orchestration behind ``tools/perf_track.py`` and
+    ``examples/reproduce_paper.py --perf-track``: returns the new snapshot,
+    the diff against the previous same-scale trajectory point (``None`` when
+    there is no such point), and the ``BENCH_<n>.json`` path written.
+    """
+
+    snapshot = run_benchmarks(
+        workloads=workloads, modes=modes, scale=scale, seed=seed,
+        repeats=repeats, label=label,
+    )
+    previous = latest_snapshot_path(directory, scale=scale)
+    diff = diff_snapshots(load_snapshot(previous), snapshot) if previous else None
+    path = next_snapshot_path(directory)
+    save_snapshot(snapshot, path)
+    return snapshot, diff, path
+
+
+def format_diff(diff: SnapshotDiff) -> str:
+    """Render a snapshot comparison as an aligned console table."""
+
+    if diff.note:
+        return diff.note
+    if not diff.diffs:
+        return "no overlapping benchmark points to compare"
+    lines = [
+        f"{'workload':<12} {'mode':<10} {'old (ms)':>10} {'new (ms)':>10} {'speedup':>9}",
+    ]
+    for record in diff.diffs:
+        lines.append(
+            f"{record.workload:<12} {record.mode:<10} "
+            f"{record.old_wall * 1e3:>10.2f} {record.new_wall * 1e3:>10.2f} "
+            f"{record.speedup:>8.2f}×"
+        )
+    lines.append(
+        f"total: {diff.total_old * 1e3:.1f} ms → {diff.total_new * 1e3:.1f} ms "
+        f"({diff.total_speedup:.2f}×)"
+    )
+    figure7 = diff.figure7_speedup
+    if figure7 is not None:
+        workload, mode = FIGURE7_REPRESENTATIVE
+        lines.append(f"figure7 representative ({workload}/{mode}): {figure7:.2f}×")
+    return "\n".join(lines)

@@ -11,9 +11,8 @@ as its end.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
-from typing import Optional, Sequence
+from typing import NamedTuple, Optional
 
 
 class ObservationKind(Enum):
@@ -23,9 +22,13 @@ class ObservationKind(Enum):
     PREFETCH = "prefetch"
 
 
-@dataclass(frozen=True)
-class Observation:
-    """One entry in the observation queue."""
+class Observation(NamedTuple):
+    """One entry in the observation queue.
+
+    ``NamedTuple`` rather than a frozen dataclass: thousands are constructed
+    per simulation, and tuple construction skips the per-field
+    ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     kind: ObservationKind
     addr: int
@@ -39,8 +42,7 @@ class Observation:
     chain_start_time: Optional[float] = None
 
 
-@dataclass(frozen=True)
-class PrefetchRequest:
+class PrefetchRequest(NamedTuple):
     """One entry in the prefetch request queue."""
 
     addr: int

@@ -42,6 +42,19 @@ class AddressFilter:
                 f"table only has {max_entries} entries"
             )
         self._ranges = ranges
+        # The kernel/timing predicates are static per entry, so they are
+        # evaluated once here; per-access matching then only compares the
+        # address against (base, end) bounds.
+        self._load_entries = [
+            (entry.base, entry.end, entry)
+            for entry in ranges
+            if entry.load_kernel is not None or entry.time_iterations
+        ]
+        self._prefetch_entries = [
+            (entry.base, entry.end, entry)
+            for entry in ranges
+            if entry.prefetch_kernel is not None or entry.chain_end or entry.chain_start
+        ]
         self.stats = FilterStats()
 
     @property
@@ -57,9 +70,7 @@ class AddressFilter:
 
         self.stats.load_snoops += 1
         matches = [
-            entry
-            for entry in self._ranges
-            if entry.contains(addr) and (entry.load_kernel is not None or entry.time_iterations)
+            entry for base, end, entry in self._load_entries if base <= addr < end
         ]
         if matches:
             self.stats.load_matches += 1
@@ -69,10 +80,7 @@ class AddressFilter:
         """Return every range whose prefetch-completion events should fire for ``addr``."""
 
         matches = [
-            entry
-            for entry in self._ranges
-            if entry.contains(addr)
-            and (entry.prefetch_kernel is not None or entry.chain_end or entry.chain_start)
+            entry for base, end, entry in self._prefetch_entries if base <= addr < end
         ]
         if matches:
             self.stats.prefetch_matches += 1

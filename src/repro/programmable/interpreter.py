@@ -18,11 +18,11 @@ those already generated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, NamedTuple, Optional, Sequence
 
 from ..config import WORD_BYTES
 from ..errors import KernelRuntimeError
-from .kernel import NUM_LOCAL_REGISTERS, Instruction, KernelProgram, Opcode, Operand
+from .kernel import NUM_LOCAL_REGISTERS, KernelProgram, Opcode, Operand
 
 #: Hard bound on dynamically executed instructions per event.  Prefetch
 #: kernels are "typically only a few lines of code" (Section 4.4); the bound
@@ -39,9 +39,12 @@ def _to_signed(value: int) -> int:
     return value - (1 << 64) if value & _SIGN_BIT else value
 
 
-@dataclass(frozen=True)
-class KernelContext:
-    """Everything a kernel can read while it runs."""
+class KernelContext(NamedTuple):
+    """Everything a kernel can read while it runs.
+
+    A ``NamedTuple``: one context is built per prefetcher event, and tuple
+    construction is markedly cheaper than a frozen dataclass's.
+    """
 
     vaddr: int
     line_base: int
@@ -86,89 +89,171 @@ def _read(operand: Operand, registers: list[int]) -> int:
     return registers[operand.value]
 
 
+# Plain-int opcode constants: the interpreter loop compares against these
+# instead of ``Opcode`` members (IntEnum equality costs a method call).
+_OP_LI = int(Opcode.LI)
+_OP_MOV = int(Opcode.MOV)
+_OP_ADD = int(Opcode.ADD)
+_OP_SUB = int(Opcode.SUB)
+_OP_MUL = int(Opcode.MUL)
+_OP_AND = int(Opcode.AND)
+_OP_OR = int(Opcode.OR)
+_OP_XOR = int(Opcode.XOR)
+_OP_SHL = int(Opcode.SHL)
+_OP_SHR = int(Opcode.SHR)
+_OP_GET_VADDR = int(Opcode.GET_VADDR)
+_OP_GET_DATA = int(Opcode.GET_DATA)
+_OP_LINE_WORD = int(Opcode.LINE_WORD)
+_OP_GET_GLOBAL = int(Opcode.GET_GLOBAL)
+_OP_GET_LOOKAHEAD = int(Opcode.GET_LOOKAHEAD)
+_OP_PREFETCH = int(Opcode.PREFETCH)
+_OP_BEQ = int(Opcode.BEQ)
+_OP_JUMP = int(Opcode.JUMP)
+_OP_HALT = int(Opcode.HALT)
+
+#: One decoded instruction: ``(opcode, a_imm, a_val, b_imm, b_val, dst, target)``.
+_Decoded = tuple[int, bool, int, bool, int, int, int]
+
+#: Decoded programs, keyed by ``id``; the program reference is kept so ids
+#: can never be recycled.  Kernel sets are tiny (a handful per workload), but
+#: long sweeps rebuild workloads — and thus programs — per point, so the
+#: cache is bounded: past the cap it is simply cleared (entries are cheap to
+#: re-derive and the clear also releases the pinned program references).
+_DECODED_CACHE: dict[int, tuple[KernelProgram, list[_Decoded]]] = {}
+_DECODED_CACHE_MAX = 256
+
+
+def _decode(program: KernelProgram) -> list[_Decoded]:
+    """Flatten a program into tuples the execution loop can unpack cheaply."""
+
+    cached = _DECODED_CACHE.get(id(program))
+    if cached is not None and cached[0] is program:
+        return cached[1]
+    if len(_DECODED_CACHE) >= _DECODED_CACHE_MAX:
+        _DECODED_CACHE.clear()
+    decoded = [
+        (
+            int(instruction.opcode),
+            instruction.a.is_immediate,
+            instruction.a.value,
+            instruction.b.is_immediate,
+            instruction.b.value,
+            instruction.dst,
+            instruction.target,
+        )
+        for instruction in program.instructions
+    ]
+    _DECODED_CACHE[id(program)] = (program, decoded)
+    return decoded
+
+
 def execute_kernel(program: KernelProgram, context: KernelContext) -> KernelExecutionResult:
-    """Run ``program`` against ``context`` and return its prefetches and cost."""
+    """Run ``program`` against ``context`` and return its prefetches and cost.
+
+    The loop runs on a decoded (flat-tuple) form of the program with all hot
+    state in locals; it is executed once per prefetcher event, which makes it
+    one of the simulator's innermost loops.  Semantics — instruction costs,
+    abort behaviour, masking — are identical to the original interpreter and
+    are pinned by the golden-stats suite.
+    """
 
     registers = [0] * NUM_LOCAL_REGISTERS
     result = KernelExecutionResult()
+    prefetches = result.prefetches
+    executed = 0
     pc = 0
-    instructions: tuple[Instruction, ...] = program.instructions
+    decoded = _decode(program)
+    length = len(decoded)
+    global_registers = context.global_registers
+    num_globals = len(global_registers)
 
     try:
-        while pc < len(instructions):
-            if result.instructions_executed >= MAX_DYNAMIC_INSTRUCTIONS:
+        while pc < length:
+            if executed >= MAX_DYNAMIC_INSTRUCTIONS:
                 raise KernelRuntimeError(
                     f"kernel {program.name!r} exceeded {MAX_DYNAMIC_INSTRUCTIONS} instructions"
                 )
-            instruction = instructions[pc]
-            result.instructions_executed += 1
-            opcode = instruction.opcode
+            opcode, a_imm, a_val, b_imm, b_val, dst, target = decoded[pc]
+            executed += 1
 
-            if opcode == Opcode.HALT:
-                break
-
-            if opcode == Opcode.PREFETCH:
-                addr = _read(instruction.a, registers) & _U64
-                tag = instruction.b.value if instruction.b.is_immediate else registers[instruction.b.value]
-                result.prefetches.append((addr, tag))
+            if opcode < _OP_GET_VADDR:  # plain ALU: LI..SHR
+                a = a_val if a_imm else registers[a_val]
+                if opcode <= _OP_MOV:  # LI / MOV
+                    value = a
+                else:
+                    b = b_val if b_imm else registers[b_val]
+                    if opcode == _OP_ADD:
+                        value = a + b
+                    elif opcode == _OP_SUB:
+                        value = a - b
+                    elif opcode == _OP_MUL:
+                        value = a * b
+                    elif opcode == _OP_AND:
+                        value = a & b
+                    elif opcode == _OP_OR:
+                        value = a | b
+                    elif opcode == _OP_XOR:
+                        value = a ^ b
+                    elif opcode == _OP_SHL:
+                        value = a << (b & 63)
+                    else:  # SHR
+                        value = (a & _U64) >> (b & 63)
+                registers[dst] = value & _U64
                 pc += 1
                 continue
 
-            if opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.JUMP):
+            if opcode == _OP_HALT:
+                break
+
+            if opcode == _OP_PREFETCH:
+                addr = (a_val if a_imm else registers[a_val]) & _U64
+                tag = b_val if b_imm else registers[b_val]
+                prefetches.append((addr, tag))
+                pc += 1
+                continue
+
+            if opcode >= _OP_BEQ:  # BEQ / BNE / BLT / BGE / JUMP
                 taken = True
-                if opcode != Opcode.JUMP:
-                    a = _to_signed(_read(instruction.a, registers))
-                    b = _to_signed(_read(instruction.b, registers))
-                    if opcode == Opcode.BEQ:
+                if opcode != _OP_JUMP:
+                    a = (a_val if a_imm else registers[a_val]) & _U64
+                    if a & _SIGN_BIT:
+                        a -= 1 << 64
+                    b = (b_val if b_imm else registers[b_val]) & _U64
+                    if b & _SIGN_BIT:
+                        b -= 1 << 64
+                    branch = opcode - _OP_BEQ
+                    if branch == 0:  # BEQ
                         taken = a == b
-                    elif opcode == Opcode.BNE:
+                    elif branch == 1:  # BNE
                         taken = a != b
-                    elif opcode == Opcode.BLT:
+                    elif branch == 2:  # BLT
                         taken = a < b
                     else:  # BGE
                         taken = a >= b
-                pc = instruction.target if taken else pc + 1
+                pc = target if taken else pc + 1
                 continue
 
-            # Register-writing instructions.
-            a = _read(instruction.a, registers)
-            b = _read(instruction.b, registers)
-            if opcode == Opcode.LI or opcode == Opcode.MOV:
-                value = a
-            elif opcode == Opcode.ADD:
-                value = a + b
-            elif opcode == Opcode.SUB:
-                value = a - b
-            elif opcode == Opcode.MUL:
-                value = a * b
-            elif opcode == Opcode.AND:
-                value = a & b
-            elif opcode == Opcode.OR:
-                value = a | b
-            elif opcode == Opcode.XOR:
-                value = a ^ b
-            elif opcode == Opcode.SHL:
-                value = a << (b & 63)
-            elif opcode == Opcode.SHR:
-                value = (a & _U64) >> (b & 63)
-            elif opcode == Opcode.GET_VADDR:
+            # Context reads: GET_VADDR .. GET_LOOKAHEAD.
+            a = a_val if a_imm else registers[a_val]
+            if opcode == _OP_GET_VADDR:
                 value = context.vaddr
-            elif opcode == Opcode.GET_DATA:
+            elif opcode == _OP_GET_DATA:
                 value = context.data_word()
-            elif opcode == Opcode.LINE_WORD:
+            elif opcode == _OP_LINE_WORD:
                 value = context.word(a)
-            elif opcode == Opcode.GET_GLOBAL:
-                if not 0 <= a < len(context.global_registers):
+            elif opcode == _OP_GET_GLOBAL:
+                if not 0 <= a < num_globals:
                     raise KernelRuntimeError(f"global register {a} out of range")
-                value = context.global_registers[a]
-            elif opcode == Opcode.GET_LOOKAHEAD:
+                value = global_registers[a]
+            elif opcode == _OP_GET_LOOKAHEAD:
                 value = int(context.lookahead(a))
             else:  # pragma: no cover - exhaustive over the ISA
                 raise KernelRuntimeError(f"unknown opcode {opcode!r}")
 
-            registers[instruction.dst] = value & _U64
+            registers[dst] = value & _U64
             pc += 1
     except KernelRuntimeError:
         result.aborted = True
 
+    result.instructions_executed = executed
     return result

@@ -154,18 +154,23 @@ class EventTriggeredPrefetcher:
             return
         hierarchy = self._hierarchy
         assert hierarchy is not None
+        line_words: Optional[tuple[int, ...]] = None
+        line_base = 0
         for entry in matches:
             if entry.time_iterations and entry.stream is not None:
                 self._lookahead_for(entry.stream).observe_iteration(time)
             if entry.load_kernel is None:
                 continue
+            if line_words is None:  # read the snooped line once, not per match
+                line_base = line_address(addr)
+                line_words = tuple(hierarchy.read_line(addr))
             observation = Observation(
                 kind=ObservationKind.LOAD,
                 addr=addr,
                 time=time,
                 kernel_name=entry.load_kernel,
-                line_base=line_address(addr),
-                line_words=tuple(hierarchy.read_line(addr)),
+                line_base=line_base,
+                line_words=line_words,
                 stream=entry.stream,
                 chain_start_time=time if entry.chain_start else None,
             )
@@ -207,13 +212,18 @@ class EventTriggeredPrefetcher:
         self._dispatch(time)
 
     def _dispatch(self, time: float) -> None:
-        while len(self.observation_queue):
-            ppu = self.policy.select(self.ppus, time)
+        pending = self.observation_queue.entries
+        if not pending:
+            return
+        ppus = self.ppus
+        select = self.policy.select
+        blocking = self.blocking
+        while pending:
+            ppu = select(ppus, time)
             if ppu is None:
                 return
-            observation = self.observation_queue.pop()
-            assert observation is not None
-            if self.blocking:
+            observation = pending.popleft()
+            if blocking:
                 self._run_blocking(ppu, observation, time)
             else:
                 self._run_event(ppu, observation, time)
@@ -223,7 +233,10 @@ class EventTriggeredPrefetcher:
             vaddr=observation.addr,
             line_base=observation.line_base,
             line_words=observation.line_words,
-            global_registers=self.globals.snapshot(),
+            # The live list, not a snapshot: kernels cannot write globals,
+            # and one context is built per event — copying 32 registers per
+            # event was measurable on the hot path.
+            global_registers=self.globals.values_view(),
             lookahead=self._lookahead_by_index,
         )
 
@@ -244,18 +257,22 @@ class EventTriggeredPrefetcher:
 
     def _handle_ppu_done(self, time: float, payload: object) -> None:
         prefetches, observation = payload  # type: ignore[misc]
-        before = self.request_queue.dropped
+        request_queue = self.request_queue
+        before = request_queue.dropped
+        stream = observation.stream
+        chain_start_time = observation.chain_start_time
         for addr, tag in prefetches:
-            request = PrefetchRequest(
-                addr=addr,
-                tag=tag,
-                issue_time=time,
-                stream=observation.stream,
-                chain_start_time=observation.chain_start_time,
+            request_queue.push(
+                PrefetchRequest(
+                    addr=addr,
+                    tag=tag,
+                    issue_time=time,
+                    stream=stream,
+                    chain_start_time=chain_start_time,
+                )
             )
-            self.request_queue.push(request)
-        self.stats.prefetches_dropped += self.request_queue.dropped - before
-        if len(self.request_queue):
+        self.stats.prefetches_dropped += request_queue.dropped - before
+        if request_queue.entries:
             self._push(time, _EV_DRAIN, None)
         # The PPU that finished is free again; waiting observations can run.
         self._dispatch(time)
@@ -265,14 +282,13 @@ class EventTriggeredPrefetcher:
     def _handle_drain(self, time: float) -> None:
         hierarchy = self._hierarchy
         assert hierarchy is not None
-        while len(self.request_queue):
+        pending = self.request_queue.entries
+        while pending:
             free_at = hierarchy.l1_mshr_next_free(time)
             if free_at > time:
                 self._push(free_at, _EV_DRAIN, None)
                 return
-            request = self.request_queue.pop()
-            assert request is not None
-            self._issue(request, time)
+            self._issue(pending.popleft(), time)
 
     def _issue(self, request: PrefetchRequest, time: float) -> None:
         hierarchy = self._hierarchy

@@ -26,36 +26,39 @@ class _DroppableFIFO(Generic[T]):
         if capacity < 1:
             raise ConfigurationError("queue capacity must be at least 1")
         self._capacity = capacity
-        self._entries: Deque[T] = deque()
+        #: The backing deque, oldest first.  Public so hot paths (the
+        #: prefetcher's dispatch/drain loops) can test emptiness and pop
+        #: without per-iteration method calls; use :meth:`push` to add.
+        self.entries: Deque[T] = deque()
         self.pushed = 0
         self.dropped = 0
 
     def push(self, entry: T) -> None:
         self.pushed += 1
-        if len(self._entries) >= self._capacity:
-            self._entries.popleft()
+        if len(self.entries) >= self._capacity:
+            self.entries.popleft()
             self.dropped += 1
-        self._entries.append(entry)
+        self.entries.append(entry)
 
     def pop(self) -> Optional[T]:
-        if not self._entries:
+        if not self.entries:
             return None
-        return self._entries.popleft()
+        return self.entries.popleft()
 
     def peek(self) -> Optional[T]:
-        if not self._entries:
+        if not self.entries:
             return None
-        return self._entries[0]
+        return self.entries[0]
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.entries)
 
     @property
     def capacity(self) -> int:
         return self._capacity
 
     def clear(self) -> None:
-        self._entries.clear()
+        self.entries.clear()
 
 
 class ObservationQueue(_DroppableFIFO[Observation]):

@@ -65,6 +65,16 @@ class GlobalRegisterFile:
 
         return list(self._values)
 
+    def values_view(self) -> list[int]:
+        """The *live* register list, for read-only hot-path consumers.
+
+        Kernels have no opcode that writes a global register, so the
+        prefetcher engine hands this list to every kernel context instead of
+        copying it per event.  Callers must not mutate it.
+        """
+
+        return self._values
+
     @property
     def names(self) -> dict[str, int]:
         return dict(self._names)

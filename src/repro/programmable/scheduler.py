@@ -33,7 +33,7 @@ class LowestFreeIdPolicy(SchedulingPolicy):
 
     def select(self, ppus: Sequence[PPU], time: float) -> Optional[PPU]:
         for ppu in ppus:
-            if ppu.is_free(time):
+            if ppu.busy_until <= time:  # is_free(), sans the per-PPU call
                 return ppu
         return None
 

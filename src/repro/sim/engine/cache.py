@@ -35,12 +35,25 @@ UNAVAILABLE = _Unavailable()
 CachedValue = Union[SimulationResult, _Unavailable]
 
 
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for the pid embedded in a temp-file name."""
+
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):  # exists but owned elsewhere / platform quirk
+        return True
+    return True
+
+
 class ResultCache:
     """Digest-keyed JSON store of simulation results."""
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._swept_orphans = False
 
     def _path(self, digest: str) -> Path:
         return self.directory / f"{digest}.json"
@@ -57,11 +70,13 @@ class ResultCache:
                 data = json.load(handle)
         except (OSError, json.JSONDecodeError):
             return None
-        if data.get("unavailable"):
-            return UNAVAILABLE
         try:
+            if data.get("unavailable"):
+                return UNAVAILABLE
             return SimulationResult.from_dict(data["result"])
-        except (KeyError, TypeError):
+        except (KeyError, TypeError, ValueError, AttributeError):
+            # Schema drift (renamed fields, wrong value shapes, non-dict
+            # payloads) must read as a miss, not escape to the engine.
             return None
 
     def put(self, request: SimRequest, result: SimulationResult) -> None:
@@ -73,11 +88,34 @@ class ResultCache:
     def _write(self, request: SimRequest, payload: dict) -> None:
         # Write-then-rename keeps concurrent readers (and parallel runs
         # sharing one cache directory) from ever seeing a partial file.
+        if not self._swept_orphans:
+            self._swept_orphans = True
+            self._sweep_orphan_tmp_files()
         path = self._path(request.digest)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1, sort_keys=True)
         os.replace(tmp, path)
+
+    def _sweep_orphan_tmp_files(self) -> None:
+        """Remove ``*.tmp.<pid>`` leftovers whose writer process is gone.
+
+        A run killed between the temp-file write and the rename leaves its
+        temp file behind forever.  Temp files belonging to a live process
+        (a concurrent run sharing this cache directory) are left alone.
+        """
+
+        for stale in self.directory.glob("*.tmp.*"):
+            pid_text = stale.suffix.lstrip(".")
+            if not pid_text.isdigit():
+                continue
+            pid = int(pid_text)
+            if pid == os.getpid() or _pid_alive(pid):
+                continue
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - lost a race with another sweeper
+                pass
 
     def __contains__(self, digest: str) -> bool:
         return self._path(digest).exists()

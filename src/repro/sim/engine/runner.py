@@ -130,10 +130,18 @@ class MultiprocessRunner(Runner):
 
     label = "multiprocess"
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        workloads: Optional[Mapping[str, Workload]] = None,
+    ) -> None:
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
             raise ValueError("MultiprocessRunner needs at least one worker")
+        #: Pre-built workloads reused by the in-process (serial) fallback;
+        #: worker processes always build their own (traces don't pickle).
+        self.workloads = workloads
 
     def _chunk(self, requests: Sequence[SimRequest]) -> list[list[SimRequest]]:
         total = len(requests)
@@ -149,7 +157,10 @@ class MultiprocessRunner(Runner):
             return []
         chunks = self._chunk(requests)
         if self.workers == 1 or len(chunks) <= 1:
-            return SerialRunner().run(requests)
+            # Nothing to parallelise: hand the whole request set to the
+            # serial path, forwarding any pre-built workloads so the
+            # fallback does not pay a redundant workload rebuild.
+            return SerialRunner(workloads=self.workloads).run(requests)
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
         with context.Pool(processes=min(self.workers, len(chunks))) as pool:

@@ -130,6 +130,25 @@ class TestExecution:
         for request in plan:
             assert serial[request].as_dict() == parallel[request].as_dict()
 
+    def test_single_chunk_fallback_reuses_prebuilt_workloads(self, config, monkeypatch):
+        from repro.sim.engine import runner as runner_module
+        from repro.workloads import build_workload
+
+        prebuilt = {"intsort": build_workload("intsort", scale="tiny")}
+
+        def _refuse_rebuild(name, **kwargs):
+            raise AssertionError(f"workload {name!r} was rebuilt despite being pre-built")
+
+        monkeypatch.setattr(runner_module, "build_workload", _refuse_rebuild)
+        runner = MultiprocessRunner(workers=4, workloads=prebuilt)
+        requests = [tiny_request("intsort", PrefetchMode.NONE, config)]
+        assert len(runner._chunk(requests)) == 1  # forces the serial fallback
+        executed = runner.run(requests)
+        assert len(executed) == 1
+        digest, result = executed[0]
+        assert digest == requests[0].digest
+        assert result is not None and result.cycles > 0
+
     def test_unavailable_mode_is_skipped_not_raised(self, config):
         request = tiny_request("pagerank", PrefetchMode.SOFTWARE, config)
         batch = SimEngine().run(SimPlan([request]))
@@ -174,6 +193,39 @@ class TestResultCache:
         request = tiny_request(config=config)
         (tmp_path / f"{request.digest}.json").write_text("{not json")
         assert cache.get(request.digest) is None
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            '{"result": {"workload": "intsort"}}',        # missing fields -> KeyError
+            '{"result": {"workload": "intsort", "mode": "none", "cycles": "NaNish", '
+            '"instructions": 1, "hierarchy": 3}}',        # wrong shapes
+            '{"result": null}',                           # TypeError
+            '["not", "a", "mapping"]',                    # AttributeError on .get
+        ],
+    )
+    def test_schema_drifted_entry_is_a_miss_not_an_error(self, config, tmp_path, payload):
+        cache = ResultCache(tmp_path)
+        request = tiny_request(config=config)
+        (tmp_path / f"{request.digest}.json").write_text(payload)
+        assert cache.get(request.digest) is None
+
+    def test_write_sweeps_orphaned_tmp_files_of_dead_writers(self, config, tmp_path):
+        import os
+
+        dead_pid = 2 ** 22 + 12345  # beyond any default pid_max
+        orphan = tmp_path / f"deadbeef.tmp.{dead_pid}"
+        orphan.write_text("{partial")
+        own = tmp_path / f"cafef00d.tmp.{os.getpid()}"
+        own.write_text("{in-progress")
+        not_a_pid = tmp_path / "feedface.tmp.backup"
+        not_a_pid.write_text("{}")
+        cache = ResultCache(tmp_path)
+        request = tiny_request(config=config)
+        cache.put(request, SimEngine().simulate(request))
+        assert not orphan.exists()          # dead writer's leftover removed
+        assert own.exists()                 # live process's file untouched
+        assert not_a_pid.exists()           # non-pid suffixes left alone
 
     def test_roundtrip_preserves_result_exactly(self, config, tmp_path):
         request = tiny_request(config=config)

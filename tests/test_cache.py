@@ -75,6 +75,57 @@ class TestReplacement:
         assert cache.stats.dirty_evictions == 1
 
 
+class TestReinsertMerges:
+    """Re-inserting a resident/in-flight tag merges instead of replacing."""
+
+    def test_prefetch_over_dirty_demand_line_keeps_dirty_state(self):
+        cache = small_cache(size=256, assoc=1)
+        set_stride = cache.config.num_sets * 64
+        cache.insert(0x10000, 0.0, write=True)          # dirty demand line
+        cache.insert(0x10000, 5.0, prefetched=True)     # prefetch lands on it
+        # The redundant prefetch neither counts a fill nor clears dirtiness.
+        assert cache.stats.prefetch_fills == 0
+        assert cache.lookup(0x10000).dirty
+        cache.insert(0x10000 + set_stride, 10.0)        # evict the line
+        assert cache.stats.dirty_evictions == 1
+
+    def test_demand_over_inflight_prefetch_keeps_prefetch_identity(self):
+        cache = small_cache()
+        cache.insert(0x2000, fill_time=100.0, prefetched=True)  # in flight
+        cache.insert(0x2000, fill_time=50.0)                    # demand fill
+        line = cache.lookup(0x2000)
+        assert line.prefetched                  # identity preserved ...
+        assert line.fill_time == 50.0           # ... and availability earliest
+        assert cache.stats.prefetch_fills == 1  # not double counted
+        cache.touch(0x2000)
+        assert cache.stats.prefetch_used == 1
+
+    def test_reinsert_never_evicts_or_loses_used_state(self):
+        cache = small_cache(size=256, assoc=1)
+        cache.insert(0x10000, 0.0, prefetched=True)
+        cache.touch(0x10000)                    # prefetch used
+        victim = cache.insert(0x10000, 1.0, prefetched=True)
+        assert victim is None
+        assert cache.stats.evictions == 0
+        line = cache.lookup(0x10000)
+        assert line.used
+        # A later eviction must not re-count it as unused.
+        set_stride = cache.config.num_sets * 64
+        cache.insert(0x10000 + set_stride, 2.0)
+        assert cache.stats.prefetch_evicted_unused == 0
+
+    def test_reinsert_refreshes_lru_order(self):
+        cache = small_cache(size=256, assoc=2)  # 2 sets of 2 ways
+        set_stride = cache.config.num_sets * 64
+        a, b, c = 0x10000, 0x10000 + set_stride, 0x10000 + 2 * set_stride
+        cache.insert(a, 0.0)
+        cache.insert(b, 0.0)
+        cache.insert(a, 1.0)  # merge refreshes recency: b is now LRU
+        cache.insert(c, 2.0)
+        assert cache.contains(a, 10.0)
+        assert not cache.contains(b, 10.0)
+
+
 class TestPrefetchBookkeeping:
     def test_prefetch_fill_counted(self):
         cache = small_cache()

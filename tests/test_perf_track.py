@@ -1,0 +1,207 @@
+"""Tests for the performance-trajectory subsystem (repro.perf + tools/perf_track.py)."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BenchRecord,
+    BenchSnapshot,
+    append_trajectory_point,
+    diff_snapshots,
+    environment_matches,
+    format_diff,
+    format_snapshot,
+    latest_snapshot_path,
+    load_snapshot,
+    next_snapshot_path,
+    run_benchmarks,
+    save_snapshot,
+    snapshot_paths,
+)
+from repro.sim.modes import PrefetchMode
+
+
+def _snapshot(walls, label=""):
+    return BenchSnapshot(
+        scale="tiny",
+        repeats=1,
+        label=label,
+        records=[
+            BenchRecord(
+                workload=workload,
+                mode=mode,
+                wall_seconds=wall,
+                ops=1000,
+                instructions=2000,
+                cycles=5000.0,
+            )
+            for (workload, mode), wall in walls.items()
+        ],
+    )
+
+
+class TestSnapshotModel:
+    def test_roundtrip_through_json(self, tmp_path):
+        snapshot = _snapshot({("randacc", "manual"): 0.25}, label="baseline")
+        path = tmp_path / "BENCH_0.json"
+        save_snapshot(snapshot, path)
+        loaded = load_snapshot(path)
+        assert loaded.as_dict() == snapshot.as_dict()
+        assert loaded.records[0].ops_per_second == pytest.approx(4000.0)
+
+    def test_record_for_and_representative(self):
+        snapshot = _snapshot({("randacc", "manual"): 0.1, ("intsort", "none"): 0.2})
+        assert snapshot.record_for("intsort", "none").wall_seconds == 0.2
+        assert snapshot.record_for("intsort", "manual") is None
+        assert snapshot.figure7_representative.workload == "randacc"
+        assert snapshot.total_wall_seconds == pytest.approx(0.3)
+
+    def test_trajectory_numbering(self, tmp_path):
+        assert latest_snapshot_path(tmp_path) is None
+        assert next_snapshot_path(tmp_path).name == "BENCH_0.json"
+        for name in ("BENCH_0.json", "BENCH_2.json", "BENCH_10.json", "BENCH_x.json"):
+            (tmp_path / name).write_text("{}")
+        assert [p.name for p in snapshot_paths(tmp_path)] == [
+            "BENCH_0.json", "BENCH_2.json", "BENCH_10.json",
+        ]
+        assert latest_snapshot_path(tmp_path).name == "BENCH_10.json"
+        assert next_snapshot_path(tmp_path).name == "BENCH_11.json"
+
+
+class TestDiff:
+    def test_speedup_and_totals(self):
+        old = _snapshot({("randacc", "manual"): 0.3, ("intsort", "none"): 0.1})
+        new = _snapshot({("randacc", "manual"): 0.1, ("intsort", "none"): 0.1})
+        diff = diff_snapshots(old, new)
+        assert len(diff.diffs) == 2
+        assert diff.figure7_speedup == pytest.approx(3.0)
+        assert diff.total_speedup == pytest.approx(2.0)
+        assert diff.worst_regression() == pytest.approx(0.0)
+        assert "figure7 representative" in format_diff(diff)
+
+    def test_regression_detection(self):
+        old = _snapshot({("intsort", "none"): 0.10})
+        new = _snapshot({("intsort", "none"): 0.15})
+        diff = diff_snapshots(old, new)
+        assert diff.worst_regression() == pytest.approx(0.5)
+
+    def test_non_overlapping_points_are_skipped(self):
+        old = _snapshot({("intsort", "none"): 0.1})
+        new = _snapshot({("randacc", "manual"): 0.1})
+        diff = diff_snapshots(old, new)
+        assert diff.diffs == []
+        assert "no overlapping" in format_diff(diff)
+
+    def test_different_scales_are_not_comparable(self):
+        old = _snapshot({("intsort", "none"): 0.1})
+        new = _snapshot({("intsort", "none"): 0.2})
+        new.scale = "small"
+        diff = diff_snapshots(old, new)
+        assert diff.diffs == []
+        assert "not comparable" in diff.note
+        assert "not comparable" in format_diff(diff)
+
+    def test_environment_match(self):
+        old = _snapshot({("intsort", "none"): 0.1})
+        new = _snapshot({("intsort", "none"): 0.1})
+        assert environment_matches(old, new)
+        new.python = old.python = "3.11.7"
+        new.python = "3.11.9"
+        assert environment_matches(old, new)  # micro releases are comparable
+        new.python = "3.12.1"
+        assert not environment_matches(old, new)
+        new.python = old.python
+        new.machine = "riscv128"
+        assert not environment_matches(old, new)
+
+
+class TestTrajectoryHelpers:
+    def test_latest_snapshot_path_filters_by_scale(self, tmp_path):
+        tiny = _snapshot({("intsort", "none"): 0.1})
+        small = _snapshot({("intsort", "none"): 0.4})
+        small.scale = "small"
+        save_snapshot(tiny, tmp_path / "BENCH_0.json")
+        save_snapshot(small, tmp_path / "BENCH_1.json")
+        assert latest_snapshot_path(tmp_path).name == "BENCH_1.json"
+        assert latest_snapshot_path(tmp_path, scale="tiny").name == "BENCH_0.json"
+        assert latest_snapshot_path(tmp_path, scale="default") is None
+
+    def test_append_trajectory_point_diffs_against_same_scale(self, tmp_path):
+        first, diff, path = append_trajectory_point(
+            tmp_path, scale="tiny", workloads=["intsort"],
+            modes=[PrefetchMode.NONE], repeats=1,
+        )
+        assert diff is None and path.name == "BENCH_0.json"
+        # An interleaved point at another scale must not become the baseline.
+        other = _snapshot({("intsort", "none"): 123.0})
+        other.scale = "small"
+        save_snapshot(other, tmp_path / "BENCH_1.json")
+        second, diff, path = append_trajectory_point(
+            tmp_path, scale="tiny", workloads=["intsort"],
+            modes=[PrefetchMode.NONE], repeats=1,
+        )
+        assert path.name == "BENCH_2.json"
+        assert diff is not None and not diff.note
+        assert diff.diffs[0].old_wall == first.records[0].wall_seconds
+
+
+class TestRunBenchmarks:
+    def test_records_real_measurements(self):
+        snapshot = run_benchmarks(
+            workloads=["intsort"],
+            modes=[PrefetchMode.NONE, PrefetchMode.MANUAL],
+            scale="tiny",
+            repeats=1,
+        )
+        assert {record.mode for record in snapshot.records} == {"none", "manual"}
+        for record in snapshot.records:
+            assert record.wall_seconds > 0
+            assert record.ops > 0
+            assert record.cycles > 0
+            assert record.ops_per_second > 0
+        assert "intsort" in format_snapshot(snapshot)
+
+    def test_unavailable_modes_are_skipped(self):
+        snapshot = run_benchmarks(
+            workloads=["pagerank"],
+            modes=[PrefetchMode.SOFTWARE, PrefetchMode.NONE],
+            scale="tiny",
+            repeats=1,
+        )
+        assert [record.mode for record in snapshot.records] == ["none"]
+
+
+class TestCommandLine:
+    def test_cli_writes_trajectory_and_gates(self, tmp_path, capsys):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "perf_track_cli", Path(__file__).resolve().parents[1] / "tools" / "perf_track.py"
+        )
+        cli = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(cli)
+
+        argv = ["--scale", "tiny", "--workloads", "intsort", "--modes", "none",
+                "--repeats", "1", "--dir", str(tmp_path)]
+        assert cli.main(argv) == 0
+        assert (tmp_path / "BENCH_0.json").exists()
+
+        # Second run diffs against BENCH_0 and appends BENCH_1.
+        assert cli.main(argv + ["--fail-threshold", "100.0"]) == 0
+        assert (tmp_path / "BENCH_1.json").exists()
+        out = capsys.readouterr().out
+        assert "Compared against" in out
+
+        # An absurdly slow committed baseline trips the regression gate.
+        fast = load_snapshot(tmp_path / "BENCH_1.json")
+        slow = _snapshot(
+            {(r.workload, r.mode): r.wall_seconds * 1e-6 for r in fast.records}
+        )
+        save_snapshot(slow, tmp_path / "BENCH_2.json")
+        code = cli.main(argv + ["--fail-threshold", "0.30", "--no-write",
+                                "--output", str(tmp_path / "ci.json")])
+        assert code == 1
+        assert (tmp_path / "ci.json").exists()
+        assert json.loads((tmp_path / "ci.json").read_text())["scale"] == "tiny"

@@ -1,5 +1,8 @@
 """Integration tests: full simulations of tiny workloads under every mode."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.config import SystemConfig
@@ -8,6 +11,9 @@ from repro.sim import PrefetchMode, mode_available, run_comparison, simulate
 from repro.sim.modes import FIGURE7_MODES
 from repro.sim.results import geometric_mean
 from repro.sim.sweeps import ppu_count_frequency_sweep, ppu_frequency_sweep
+from repro.workloads import registry
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "data" / "golden_stats.json"
 
 
 @pytest.fixture(scope="module")
@@ -101,6 +107,47 @@ class TestBehaviouralShape:
         factors = manual.activity_factors
         assert len(factors) == config.prefetcher.num_ppus
         assert factors[0] >= factors[-1]
+
+
+@pytest.fixture(scope="module")
+def golden_stats():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+class TestGoldenStats:
+    """Bit-identical equivalence against the pinned pre-refactor fingerprints.
+
+    The golden file (regenerated only via ``tools/update_golden_stats.py``)
+    records the full ``SimulationResult`` — cycles, every core and hierarchy
+    counter, and the prefetcher engine statistics — for every registered
+    workload under every available mode at tiny scale.  Any hot-path
+    optimisation must reproduce these numbers *exactly*; a mismatch means
+    the timing model changed, not just its speed.
+    """
+
+    def test_golden_file_covers_every_registered_workload(self, golden_stats):
+        covered = {key.split("/", 1)[0] for key in golden_stats}
+        assert covered == set(registry.names())
+
+    @pytest.mark.parametrize("name", registry.names())
+    def test_bit_identical_results_for_every_available_mode(
+        self, name, tiny_workloads, config, golden_stats
+    ):
+        workload = tiny_workloads.get(name)
+        checked = 0
+        for mode in PrefetchMode:
+            if not mode_available(workload, mode):
+                assert f"{name}/{mode.value}" not in golden_stats
+                continue
+            expected = golden_stats[f"{name}/{mode.value}"]
+            result = simulate(workload, mode, config)
+            measured = json.loads(json.dumps(result.as_dict()))
+            assert measured == expected, (
+                f"{name}/{mode.value}: simulation diverged from the golden "
+                f"fingerprint — the timing model changed"
+            )
+            checked += 1
+        assert checked > 0
 
 
 class TestComparisonDriver:

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Measure the simulator's wall-clock performance and track it over time.
+
+Runs the benchmark suite — ``simulate()`` on every registered paper workload
+under the no-prefetch, stride and manual-programmable modes — records wall
+time and ops/second per ``(workload, mode)`` point, and appends the snapshot
+to the repository's ``BENCH_<n>.json`` trajectory.  The new snapshot is
+diffed against the previous one (or any ``--against`` file) so every change
+to the hot path has a measured before/after.
+
+Examples::
+
+    # Append the next BENCH_<n>.json at test (tiny) scale and diff vs previous
+    python tools/perf_track.py --scale tiny
+
+    # CI regression gate: measure, compare against the committed baseline,
+    # fail when total wall time regressed by more than 30%
+    python tools/perf_track.py --scale tiny --no-write \\
+        --output /tmp/bench-ci.json --fail-threshold 0.30
+
+    # One-off comparison against a specific snapshot
+    python tools/perf_track.py --against BENCH_0.json --no-write
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.perf import (  # noqa: E402
+    diff_snapshots,
+    environment_matches,
+    format_diff,
+    format_snapshot,
+    latest_snapshot_path,
+    load_snapshot,
+    next_snapshot_path,
+    run_benchmarks,
+    save_snapshot,
+)
+from repro.sim.modes import PrefetchMode  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "default"],
+                        help="workload scale to benchmark (default: tiny)")
+    parser.add_argument("--workloads", default=None, metavar="A,B,...",
+                        help="comma-separated workload subset (default: paper workloads)")
+    parser.add_argument("--modes", default=None, metavar="M,N,...",
+                        help="comma-separated prefetch modes (default: none,stride,manual)")
+    parser.add_argument("--repeats", type=int, default=3, metavar="N",
+                        help="runs per point; the fastest is recorded (default: 3)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--dir", default=str(_REPO_ROOT), metavar="DIR",
+                        help="trajectory directory holding BENCH_<n>.json (default: repo root)")
+    parser.add_argument("--label", default="", help="free-form note stored in the snapshot")
+    parser.add_argument("--against", default=None, metavar="PATH",
+                        help="snapshot to diff against (default: latest BENCH_<n>.json)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and diff only; do not append to the trajectory")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="also write the snapshot to PATH (useful with --no-write)")
+    parser.add_argument("--fail-threshold", type=float, default=None, metavar="FRAC",
+                        help="exit non-zero when total wall time regressed by more than "
+                             "FRAC (e.g. 0.30 = 30%%) against the comparison snapshot")
+    args = parser.parse_args(argv)
+
+    workloads = args.workloads.split(",") if args.workloads else None
+    modes = (
+        [PrefetchMode(value) for value in args.modes.split(",")]
+        if args.modes
+        else None
+    )
+
+    baseline_path = (
+        Path(args.against)
+        if args.against
+        else latest_snapshot_path(args.dir, scale=args.scale)
+    )
+
+    kwargs = {}
+    if modes is not None:
+        kwargs["modes"] = modes
+    snapshot = run_benchmarks(
+        workloads=workloads,
+        scale=args.scale,
+        seed=args.seed,
+        repeats=args.repeats,
+        label=args.label,
+        **kwargs,
+    )
+    print(format_snapshot(snapshot))
+
+    exit_code = 0
+    if baseline_path is not None and baseline_path.exists():
+        baseline = load_snapshot(baseline_path)
+        diff = diff_snapshots(baseline, snapshot)
+        print()
+        print(f"Compared against {baseline_path}:")
+        print(format_diff(diff))
+        if args.fail_threshold is not None and diff.diffs:
+            regression = diff.total_new / diff.total_old - 1.0 if diff.total_old > 0 else 0.0
+            if regression <= args.fail_threshold:
+                print(
+                    f"\nOK: total wall-time change {regression * 100:+.1f}% is within "
+                    f"the {args.fail_threshold * 100:.0f}% regression threshold"
+                )
+            elif not environment_matches(baseline, snapshot):
+                # A baseline recorded on different hardware (or interpreter)
+                # measures the machine delta, not a code change — report,
+                # but do not fail the gate.
+                print(
+                    f"\nADVISORY: total wall time {regression * 100:+.1f}% vs a baseline "
+                    f"from a different environment ({baseline.machine}/py{baseline.python} "
+                    f"vs {snapshot.machine}/py{snapshot.python}); not gating"
+                )
+            else:
+                print(
+                    f"\nFAIL: total wall time regressed by {regression * 100:.1f}% "
+                    f"(threshold {args.fail_threshold * 100:.0f}%)",
+                    file=sys.stderr,
+                )
+                exit_code = 1
+    elif args.fail_threshold is not None:
+        print("\nno baseline snapshot found; nothing to gate against")
+
+    if not args.no_write:
+        path = next_snapshot_path(args.dir)
+        save_snapshot(snapshot, path)
+        print(f"\nWrote {path}")
+    if args.output:
+        save_snapshot(snapshot, args.output)
+        print(f"Wrote {args.output}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Regenerate the golden-stats fingerprint file for the equivalence suite.
+
+The golden file (``tests/data/golden_stats.json``) pins the complete
+:class:`~repro.sim.results.SimulationResult` — cycles, instructions, every
+core/hierarchy counter and (for programmable modes) the prefetcher engine
+statistics — for **every registered workload × every available prefetch
+mode** at test (tiny) scale.  ``tests/test_sim_integration.py`` asserts each
+simulation reproduces its fingerprint *bit-for-bit*, which is the guard that
+lets the hot-path code be restructured for speed without any risk of
+silently changing the timing model.
+
+Only run this tool when the timing model is *intentionally* changed (a new
+feature or a deliberate model fix), never to "make the tests pass" after an
+optimisation — an optimisation that changes any number is a bug::
+
+    python tools/update_golden_stats.py          # rewrite the golden file
+    python tools/update_golden_stats.py --check  # verify without writing
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import SystemConfig  # noqa: E402
+from repro.sim.modes import PrefetchMode, mode_available  # noqa: E402
+from repro.sim.system import simulate  # noqa: E402
+from repro.workloads import build_workload, registry  # noqa: E402
+
+#: Where the fingerprints live, relative to the repository root.
+GOLDEN_PATH = _REPO_ROOT / "tests" / "data" / "golden_stats.json"
+
+#: Fingerprinted scale and seed — the test suite's standard tiny scale.
+SCALE = "tiny"
+SEED = 42
+
+
+def compute_golden_stats() -> dict[str, dict]:
+    """Simulate every (workload, available mode) point and collect fingerprints."""
+
+    config = SystemConfig.scaled()
+    golden: dict[str, dict] = {}
+    for name in registry.names():
+        workload = build_workload(name, scale=SCALE, seed=SEED)
+        for mode in PrefetchMode:
+            if not mode_available(workload, mode):
+                continue
+            result = simulate(workload, mode, config)
+            # JSON round-trip normalises containers (tuples -> lists) so the
+            # stored fingerprint compares equal to a re-loaded one.
+            golden[f"{name}/{mode.value}"] = json.loads(json.dumps(result.as_dict()))
+    return golden
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed file instead of writing")
+    parser.add_argument("--output", default=str(GOLDEN_PATH), metavar="PATH")
+    args = parser.parse_args(argv)
+
+    golden = compute_golden_stats()
+    path = Path(args.output)
+
+    if args.check:
+        committed = json.loads(path.read_text(encoding="utf-8"))
+        mismatched = sorted(
+            key
+            for key in set(committed) | set(golden)
+            if committed.get(key) != golden.get(key)
+        )
+        for key in mismatched:
+            print(f"MISMATCH: {key}", file=sys.stderr)
+        print(f"checked {len(golden)} fingerprints: {len(mismatched)} mismatches")
+        return 1 if mismatched else 0
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(golden, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(golden)} fingerprints to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
