@@ -102,7 +102,7 @@ class OutOfOrderCore:
         )
 
         hierarchy = self.hierarchy
-        demand_access = hierarchy.demand_access
+        demand_access = hierarchy.demand_access_time
         prefetch_access = hierarchy.prefetch_access
 
         kinds, addrs, counts, deps_table = trace.columns()
@@ -139,8 +139,11 @@ class OutOfOrderCore:
         load_latency_total = 0.0
         load_stall_total = 0.0
 
-        for index in range(total_ops):
-            count = counts[index]
+        # zip() iteration instead of four list __getitem__ calls per op;
+        # ``index`` is still needed to record completion times for deps.
+        for index, (kind, addr, count, deps) in enumerate(
+            zip(kinds, addrs, counts, deps_table)
+        ):
             instructions += count
 
             # Reorder-buffer constraint: the window holds rob_entries ops.
@@ -155,12 +158,11 @@ class OutOfOrderCore:
             previous_issue = issue_time
 
             deps_ready = issue_time
-            for dep in deps_table[index]:
+            for dep in deps:
                 dep_time = completion[dep]
                 if dep_time > deps_ready:
                     deps_ready = dep_time
 
-            kind = kinds[index]
             if kind == kind_load:
                 loads += 1
                 # Load-queue constraint: a bounded number of loads in flight.
@@ -169,7 +171,7 @@ class OutOfOrderCore:
                     loads_len -= 1
                     if lq_ready > deps_ready:
                         deps_ready = lq_ready
-                complete = demand_access(addrs[index], deps_ready).completion_time
+                complete = demand_access(addr, deps_ready)
                 loads_append(complete)
                 loads_len += 1
                 latency = complete - deps_ready
@@ -180,13 +182,13 @@ class OutOfOrderCore:
                 stores += 1
                 # Stores retire through the store buffer without stalling the
                 # core; the cache access still happens for occupancy/traffic.
-                demand_access(addrs[index], deps_ready, write=True)
+                demand_access(addr, deps_ready, write=True)
                 complete = deps_ready + alu_latency
             elif kind == kind_swpf:
                 software_prefetches += 1
                 # Non-blocking: the prefetch is issued once its address is
                 # ready; the instruction itself completes immediately.
-                prefetch_access(addrs[index], deps_ready)
+                prefetch_access(addr, deps_ready)
                 complete = deps_ready + alu_latency
             elif kind == kind_branch:
                 branches += 1

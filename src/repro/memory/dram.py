@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from ..config import DRAMConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMStats:
     """Counters for main-memory traffic."""
 
@@ -48,6 +48,9 @@ class DRAMModel:
 
     def __post_init__(self) -> None:
         self._channel_free = [0.0] * self.config.channels
+        # Hot-path constants (access() runs once per L2 miss).
+        self._access_latency = self.config.access_latency_cycles
+        self._service_cycles = self.config.line_service_cycles
 
     def access(self, time: float, *, is_prefetch: bool = False, is_writeback: bool = False) -> float:
         """Serve one line-sized request arriving at ``time``.
@@ -56,11 +59,20 @@ class DRAMModel:
         is used, which approximates address interleaving across channels.
         """
 
-        channel = min(range(len(self._channel_free)), key=self._channel_free.__getitem__)
-        start = max(time, self._channel_free[channel])
-        completion = start + self.config.access_latency_cycles
-        self._channel_free[channel] = start + self.config.line_service_cycles
-        self.stats.busy_cycles += self.config.line_service_cycles
+        # First least-loaded channel (min() with a key built a range object
+        # and paid a key call per channel on every DRAM access).
+        channel_free = self._channel_free
+        channel = 0
+        earliest = channel_free[0]
+        for index in range(1, len(channel_free)):
+            free = channel_free[index]
+            if free < earliest:
+                earliest = free
+                channel = index
+        start = time if time > earliest else earliest
+        completion = start + self._access_latency
+        channel_free[channel] = start + self._service_cycles
+        self.stats.busy_cycles += self._service_cycles
         if is_writeback:
             self.stats.writebacks += 1
         elif is_prefetch:

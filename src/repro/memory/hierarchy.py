@@ -24,9 +24,10 @@ time before the core looks at the cache state.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, NamedTuple, Optional
 
-from ..config import SystemConfig
+from ..config import CACHE_LINE_BYTES, SystemConfig
 from ..errors import SimulationError
 from .address_space import AddressSpace
 from .cache import Cache
@@ -81,9 +82,44 @@ class MemoryHierarchy:
         self.dropped_prefetches = 0
         self._demand_snoop: Optional[SnoopHook] = None
         self._advance_hook: Optional[AdvanceHook] = None
+        # Level/translation of the most recent demand access, for the
+        # AccessResult-building demand_access wrapper.
+        self._last_level = "l1"
+        self._last_translation = 0.0
         # Hot-path constants, hoisted out of the per-access attribute chain.
         self._l1_hit_latency = config.l1.hit_latency
         self._l2_hit_latency = config.l2.hit_latency
+        self._rebind_hot_refs()
+        # Memoised line reads for the prefetcher (see read_line_words):
+        # trace replay never writes the address space, so the 8-word tuple of
+        # a line is invariant for the lifetime of one simulation.
+        self._line_words_cache: dict[int, tuple[int, ...]] = {}
+        # Memoised is_mapped() verdicts for prefetch targets (the address
+        # space's region map is likewise fixed during a simulation).
+        self._mapped_cache: dict[int, bool] = {}
+
+    def _rebind_hot_refs(self) -> None:
+        """Re-resolve references the access paths use inline.
+
+        Cache.probe and the TLB's L1-hit path are inlined into
+        demand_access/prefetch_access (one shift/mask or dict probe instead
+        of a method call per access).  The backing structures are rebound by
+        ``Cache.reset``/``TLB.reset``, so :meth:`reset` calls this again.
+        A ``None`` line shift (non-power-of-two line size) makes the access
+        paths fall back to ``Cache.probe``.
+        """
+
+        self._l1_sets = self.l1._sets
+        self._l1_line_shift = self.l1._line_shift
+        self._l1_set_mask = self.l1._set_mask
+        self._l1_set_shift = self.l1._set_shift
+        self._l2_sets = self.l2._sets
+        self._l2_line_shift = self.l2._line_shift
+        self._l2_set_mask = self.l2._set_mask
+        self._l2_set_shift = self.l2._set_shift
+        self._tlb_page_bytes = self.tlb._page_bytes
+        self._tlb_l1_entries = self.tlb._l1._entries
+        self._tlb_stats = self.tlb.stats
 
     # ----------------------------------------------------------------- hooks
 
@@ -100,7 +136,20 @@ class MemoryHierarchy:
     # ---------------------------------------------------------------- demand
 
     def demand_access(self, addr: int, time: float, *, write: bool = False) -> AccessResult:
-        """Perform a demand load or store issued by the core at ``time``."""
+        """Perform a demand load or store issued by the core at ``time``.
+
+        Compatibility wrapper around :meth:`demand_access_time` that also
+        reports the serving level and translation latency.  The core's replay
+        loop calls :meth:`demand_access_time` directly — it only needs the
+        completion time, and skipping the ``AccessResult`` construction is
+        measurable at one op per dynamic instruction.
+        """
+
+        completion = self.demand_access_time(addr, time, write=write)
+        return AccessResult(completion, self._last_level, self._last_translation)
+
+    def demand_access_time(self, addr: int, time: float, *, write: bool = False) -> float:
+        """Like :meth:`demand_access`, returning only the completion time."""
 
         if time < 0:
             raise SimulationError("access time must be non-negative")
@@ -108,15 +157,21 @@ class MemoryHierarchy:
         if advance is not None:
             advance(time)
 
-        result = self._demand_lookup(addr, time, write)
-        if not write:
-            snoop = self._demand_snoop
-            if snoop is not None:
-                snoop(addr, time + result.translation_latency, result.level)
-        return result
-
-    def _demand_lookup(self, addr: int, time: float, write: bool) -> AccessResult:
-        translation_latency = self.tlb.translate(addr, time)
+        # The lookup body is inlined here (it used to be _demand_lookup):
+        # this method runs once per dynamic memory op, and the extra call
+        # was measurable once the lookup itself had been slimmed down.
+        # TLB.translate's L1-hit path is inlined the same way.
+        page = addr // self._tlb_page_bytes
+        tlb_stats = self._tlb_stats
+        tlb_stats.accesses += 1
+        tlb_l1 = self._tlb_l1_entries
+        if page in tlb_l1:
+            del tlb_l1[page]
+            tlb_l1[page] = None
+            tlb_stats.l1_hits += 1
+            translation_latency = 0.0
+        else:
+            translation_latency = self.tlb.miss(page)
         t = time + translation_latency
 
         l1 = self.l1
@@ -126,34 +181,60 @@ class MemoryHierarchy:
         else:
             l1_stats.demand_read_accesses += 1
 
-        # One probe serves the hit, the in-flight merge and the miss fill.
-        cache_set, tag = l1.probe(addr)
+        # One probe serves the hit, the in-flight merge and the miss fill
+        # (Cache.probe, inlined).
+        line_shift = self._l1_line_shift
+        if line_shift is not None:
+            line_index = addr >> line_shift
+            cache_set = self._l1_sets[line_index & self._l1_set_mask]
+            tag = line_index >> self._l1_set_shift
+        else:
+            cache_set, tag = l1.probe(addr)
         line = cache_set.get(tag)
         hit_latency = self._l1_hit_latency
         if line is not None:
             fill_time = line.fill_time
             if fill_time <= t:
-                l1.touch_entry(cache_set, tag, line, write=write)
                 if write:
                     l1_stats.demand_write_hits += 1
                 else:
                     l1_stats.demand_read_hits += 1
-                return AccessResult(t + hit_latency, "l1", translation_latency)
-            # The line is already being filled (by a prefetch or an earlier
-            # miss); this access merges with the outstanding fill.
-            l1_stats.inflight_merges += 1
-            l1.touch_entry(cache_set, tag, line, write=write)
-            earliest = t + hit_latency
-            completion = fill_time if fill_time > earliest else earliest
-            return AccessResult(completion, "l1_inflight", translation_latency)
+                completion = t + hit_latency
+                level = "l1"
+            else:
+                # The line is already being filled (by a prefetch or an
+                # earlier miss); this access merges with the outstanding fill.
+                l1_stats.inflight_merges += 1
+                earliest = t + hit_latency
+                completion = fill_time if fill_time > earliest else earliest
+                level = "l1_inflight"
+            # Cache.touch_entry, inlined (runs once per L1 hit/merge).
+            l1._lru_counter = stamp = l1._lru_counter + 1
+            line.lru_stamp = stamp
+            del cache_set[tag]
+            cache_set[tag] = line
+            if write:
+                line.dirty = True
+            if line.prefetched and not line.used:
+                line.used = True
+                l1_stats.prefetch_used += 1
+        else:
+            # L1 miss.
+            l1_stats.misses += 1
+            grant = self.l1_mshrs.allocate(t)
+            completion, level = self._access_l2(
+                addr, grant + hit_latency, is_prefetch=False
+            )
+            l1.fill_entry(cache_set, tag, completion, prefetched=False, write=write)
+            self.l1_mshrs.register_fill(completion)
 
-        # L1 miss.
-        l1_stats.misses += 1
-        grant = self.l1_mshrs.allocate(t)
-        data_time, level = self._access_l2(addr, grant + hit_latency, is_prefetch=False)
-        l1.fill_entry(cache_set, tag, data_time, prefetched=False, write=write)
-        self.l1_mshrs.register_fill(data_time)
-        return AccessResult(data_time, level, translation_latency)
+        if not write:
+            snoop = self._demand_snoop
+            if snoop is not None:
+                snoop(addr, t, level)
+        self._last_level = level
+        self._last_translation = translation_latency
+        return completion
 
     # -------------------------------------------------------------- prefetch
 
@@ -171,17 +252,42 @@ class MemoryHierarchy:
         been a page fault — Section 5.3).
         """
 
-        if not self.address_space.is_mapped(addr):
+        mapped_cache = self._mapped_cache
+        mapped = mapped_cache.get(addr)
+        if mapped is None:
+            if len(mapped_cache) >= 65536:
+                mapped_cache.clear()
+            mapped = self.address_space.is_mapped(addr)
+            mapped_cache[addr] = mapped
+        if not mapped:
             self.dropped_prefetches += 1
             return None
 
         l1 = self.l1
         l1_stats = l1.stats
         l1_stats.prefetch_requests += 1
-        translation_latency = self.tlb.translate(addr, time)
+        # TLB.translate's L1-hit path, inlined (as in demand_access).
+        page = addr // self._tlb_page_bytes
+        tlb_stats = self._tlb_stats
+        tlb_stats.accesses += 1
+        tlb_l1 = self._tlb_l1_entries
+        if page in tlb_l1:
+            del tlb_l1[page]
+            tlb_l1[page] = None
+            tlb_stats.l1_hits += 1
+            translation_latency = 0.0
+        else:
+            translation_latency = self.tlb.miss(page)
         t = time + translation_latency
 
-        cache_set, tag = l1.probe(addr)
+        # Cache.probe, inlined (as in demand_access).
+        line_shift = self._l1_line_shift
+        if line_shift is not None:
+            line_index = addr >> line_shift
+            cache_set = self._l1_sets[line_index & self._l1_set_mask]
+            tag = line_index >> self._l1_set_shift
+        else:
+            cache_set, tag = l1.probe(addr)
         line = cache_set.get(tag)
         if line is not None:
             fill_time = line.fill_time
@@ -196,10 +302,24 @@ class MemoryHierarchy:
                 on_fill(addr, fill_time)
             return fill_time
 
-        grant = self.l1_mshrs.allocate(t)
+        # MSHRFile.allocate + register_fill, inlined (one L1 fill per issued
+        # prefetch is the common case on the event-engine hot path).
+        mshrs = self.l1_mshrs
+        completions = mshrs._completions
+        heappop = heapq.heappop
+        while completions and completions[0] <= t:
+            heappop(completions)
+        if len(completions) < mshrs._capacity:
+            grant = t
+        else:
+            grant = completions[0]
+            mshrs.total_stall_cycles += grant - t
+            while completions and completions[0] <= grant:
+                heappop(completions)
+        mshrs.total_allocations += 1
         data_time, _level = self._access_l2(addr, grant + self._l1_hit_latency, is_prefetch=True)
         l1.fill_entry(cache_set, tag, data_time, prefetched=True)
-        self.l1_mshrs.register_fill(data_time)
+        heapq.heappush(completions, data_time)
         if on_fill is not None:
             on_fill(addr, data_time)
         return data_time
@@ -219,18 +339,31 @@ class MemoryHierarchy:
         else:
             l2_stats.demand_read_accesses += 1
 
-        cache_set, tag = l2.probe(addr)
+        # Cache.probe, inlined (as in demand_access).
+        line_shift = self._l2_line_shift
+        if line_shift is not None:
+            line_index = addr >> line_shift
+            cache_set = self._l2_sets[line_index & self._l2_set_mask]
+            tag = line_index >> self._l2_set_shift
+        else:
+            cache_set, tag = l2.probe(addr)
         line = cache_set.get(tag)
         hit_latency = self._l2_hit_latency
         if line is not None:
+            # Cache.touch_entry, inlined (the L2 has no demand-write path).
+            l2._lru_counter = stamp = l2._lru_counter + 1
+            line.lru_stamp = stamp
+            del cache_set[tag]
+            cache_set[tag] = line
+            if line.prefetched and not line.used:
+                line.used = True
+                l2_stats.prefetch_used += 1
             fill_time = line.fill_time
             if fill_time <= time:
-                l2.touch_entry(cache_set, tag, line)
                 if not is_prefetch:
                     l2_stats.demand_read_hits += 1
                 return time + hit_latency, "l2"
             l2_stats.inflight_merges += 1
-            l2.touch_entry(cache_set, tag, line)
             earliest = time + hit_latency
             return (fill_time if fill_time > earliest else earliest), "l2_inflight"
 
@@ -249,6 +382,26 @@ class MemoryHierarchy:
         """Return the 8 data words of the cache line containing ``addr``."""
 
         return self.address_space.read_line(addr)
+
+    def read_line_words(self, addr: int) -> tuple[int, ...]:
+        """The words of the line containing ``addr``, as a memoised tuple.
+
+        The prefetcher reads one line per observation and one per
+        interesting fill, and trace replay never writes the address space,
+        so line contents are invariant for the lifetime of a simulation.
+        The cache is bounded (cleared wholesale past the cap) so large-scale
+        runs cannot grow it past a few megabytes.
+        """
+
+        base = addr - (addr % CACHE_LINE_BYTES)
+        cache = self._line_words_cache
+        words = cache.get(base)
+        if words is None:
+            if len(cache) >= 65536:
+                cache.clear()
+            words = tuple(self.address_space.read_line(base))
+            cache[base] = words
+        return words
 
     def finalize(self) -> None:
         """Close out end-of-run statistics (unused prefetched lines)."""
@@ -273,3 +426,6 @@ class MemoryHierarchy:
         self.tlb.reset()
         self.dram.reset()
         self.dropped_prefetches = 0
+        self._line_words_cache.clear()
+        self._mapped_cache.clear()
+        self._rebind_hot_refs()

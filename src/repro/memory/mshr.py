@@ -18,6 +18,8 @@ from ..errors import ConfigurationError
 class MSHRFile:
     """A fixed-capacity set of miss-status holding registers."""
 
+    __slots__ = ("_capacity", "_completions", "total_allocations", "total_stall_cycles")
+
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ConfigurationError("MSHR capacity must be at least 1")

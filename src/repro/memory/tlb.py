@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from ..config import TLBConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class TLBStats:
     accesses: int = 0
     l1_hits: int = 0
@@ -45,6 +45,8 @@ class _LRUSet:
     ``OrderedDict`` with ``move_to_end``/``popitem(last=False)`` but faster —
     this sits on the per-access translation path.
     """
+
+    __slots__ = ("_capacity", "_entries")
 
     def __init__(self, capacity: int) -> None:
         self._capacity = capacity
@@ -106,6 +108,17 @@ class TLB:
             l1_entries[page] = None
             stats.l1_hits += 1
             return 0.0
+        return self.miss(page)
+
+    def miss(self, page: int) -> float:
+        """L1-TLB-miss continuation of :meth:`translate`.
+
+        Split out so the memory hierarchy can inline the L1-hit fast path
+        (one dict membership test) and only pay a call on the miss path.
+        The access has already been counted by the caller.
+        """
+
+        stats = self.stats
         if self._l2.lookup(page):
             stats.l2_hits += 1
             self._l1.insert(page)

@@ -4,6 +4,9 @@ The subpackage models every structure in Figure 3 of the paper:
 
 * :mod:`~repro.programmable.kernel` / :mod:`~repro.programmable.interpreter` —
   the PPU kernel ISA and its functional+timing interpreter.
+* :mod:`~repro.programmable.compiler` — ahead-of-time compilation of kernels
+  to specialised Python closures (the default execution tier; digest-cached,
+  bit-identical to the interpreter, ``REPRO_KERNEL_COMPILER=off`` to disable).
 * :mod:`~repro.programmable.filter` — the address filter and filter table.
 * :mod:`~repro.programmable.queues` — the observation queue and the prefetch
   request queue (droppable FIFOs).
@@ -18,9 +21,17 @@ The subpackage models every structure in Figure 3 of the paper:
   plugs into the memory hierarchy.
 """
 
+from .compiler import (
+    compile_kernel,
+    compiler_enabled,
+    generate_source,
+    kernel_executor,
+    program_digest,
+    run_compiled,
+)
 from .config_api import PrefetcherConfiguration, RangeConfig
 from .ewma import EWMA, LookaheadCalculator
-from .interpreter import KernelExecutionResult, execute_kernel
+from .interpreter import KernelExecutionResult, default_lookahead, execute_kernel
 from .kernel import KernelBuilder, KernelProgram, Opcode, Reg
 from .ppu import PPU
 from .prefetcher import EventTriggeredPrefetcher
@@ -35,6 +46,13 @@ __all__ = [
     "Reg",
     "KernelExecutionResult",
     "execute_kernel",
+    "default_lookahead",
+    "compile_kernel",
+    "compiler_enabled",
+    "generate_source",
+    "kernel_executor",
+    "program_digest",
+    "run_compiled",
     "PrefetcherConfiguration",
     "RangeConfig",
     "EWMA",

@@ -85,6 +85,10 @@ class LookaheadCalculator:
     chain_latency: EWMA = field(init=False)
     _window_start_time: Optional[float] = field(default=None, repr=False)
     _window_count: int = field(default=0, repr=False)
+    #: Memoised result of :meth:`lookahead`; kernels query the distance once
+    #: per GET_LOOKAHEAD while the EWMAs change far less often, so the
+    #: clamp/divide is recomputed only after a new sample arrives.
+    _cached_distance: Optional[int] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.iteration_time = EWMA(self.alpha)
@@ -106,6 +110,7 @@ class LookaheadCalculator:
             delta = time - self._window_start_time
             if delta > 0:
                 self.iteration_time.update(delta / self._window_count)
+                self._cached_distance = None
             self._window_start_time = time
             self._window_count = 0
 
@@ -114,19 +119,27 @@ class LookaheadCalculator:
 
         if end_time >= start_time:
             self.chain_latency.update(end_time - start_time)
+            self._cached_distance = None
 
     # ---------------------------------------------------------------- outputs
 
     def lookahead(self) -> int:
+        cached = self._cached_distance
+        if cached is not None:
+            return cached
         iteration = self.iteration_time.value
         latency = self.chain_latency.value
         if not iteration or latency is None:
-            return self.default_distance
-        distance = -(-int(latency) // max(1, int(iteration))) + 1
-        return max(MIN_LOOKAHEAD, min(MAX_LOOKAHEAD, distance))
+            distance = self.default_distance
+        else:
+            distance = -(-int(latency) // max(1, int(iteration))) + 1
+            distance = max(MIN_LOOKAHEAD, min(MAX_LOOKAHEAD, distance))
+        self._cached_distance = distance
+        return distance
 
     def reset(self) -> None:
         self.iteration_time.reset()
         self.chain_latency.reset()
         self._window_start_time = None
         self._window_count = 0
+        self._cached_distance = None

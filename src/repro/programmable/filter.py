@@ -17,7 +17,7 @@ from ..errors import ConfigurationError
 from .config_api import PrefetcherConfiguration, RangeConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class FilterStats:
     load_snoops: int = 0
     load_matches: int = 0

@@ -39,6 +39,18 @@ def _to_signed(value: int) -> int:
     return value - (1 << 64) if value & _SIGN_BIT else value
 
 
+def default_lookahead(stream: int) -> int:
+    """Default look-ahead when no EWMA stream is wired up: one element ahead.
+
+    A module-level named function rather than a lambda default so that
+    contexts pickle cleanly (multiprocess paths) and tracebacks through the
+    look-ahead callback name something greppable.
+    """
+
+    del stream
+    return 1
+
+
 class KernelContext(NamedTuple):
     """Everything a kernel can read while it runs.
 
@@ -50,7 +62,7 @@ class KernelContext(NamedTuple):
     line_base: int
     line_words: Optional[Sequence[int]]
     global_registers: Sequence[int]
-    lookahead: Callable[[int], int] = lambda stream: 1
+    lookahead: Callable[[int], int] = default_lookahead
 
     def data_word(self) -> int:
         """The word at the triggering address within the forwarded line."""

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 EVENT_DISPATCH_OVERHEAD_PPU_CYCLES = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class PPUStats:
     events_executed: int = 0
     instructions_executed: int = 0
@@ -34,7 +34,7 @@ class PPUStats:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class PPU:
     """One programmable prefetch unit."""
 

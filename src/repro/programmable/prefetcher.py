@@ -27,15 +27,15 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from ..config import SystemConfig
+from ..config import CACHE_LINE_BYTES, SystemConfig
 from ..errors import ConfigurationError
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.layout import line_address
+from .compiler import kernel_executor
 from .config_api import PrefetcherConfiguration, RangeConfig, TagConfig
 from .ewma import LookaheadCalculator
 from .events import Observation, ObservationKind, PrefetchRequest
 from .filter import AddressFilter
-from .interpreter import KernelContext, execute_kernel
 from .ppu import EVENT_DISPATCH_OVERHEAD_PPU_CYCLES, PPU
 from .queues import ObservationQueue, PrefetchRequestQueue
 from .registers import GlobalRegisterFile
@@ -47,8 +47,12 @@ _EV_PPU_DONE = 1
 _EV_DRAIN = 2
 _EV_FILL = 3
 
+# Enum members hoisted for the hot observation constructors.
+_OBS_LOAD = ObservationKind.LOAD
+_OBS_PREFETCH = ObservationKind.PREFETCH
 
-@dataclass
+
+@dataclass(slots=True)
 class EngineStats:
     """Aggregate statistics of one run of the programmable prefetcher."""
 
@@ -122,7 +126,54 @@ class EventTriggeredPrefetcher:
             )
             for name, stream in self._streams.items()
         }
-        self._stream_by_index = {stream.index: name for name, stream in self._streams.items()}
+        # Kernels are resolved to executors once, here — compiled closures by
+        # default (cached process-wide by program digest), or interpreter
+        # wrappers under ``REPRO_KERNEL_COMPILER=off``.  Event handling then
+        # pays a single dict lookup and one call per event instead of
+        # re-dispatching every kernel instruction.
+        self._executors = {
+            name: kernel_executor(program)
+            for name, program in configuration.kernels.items()
+        }
+        # The *live* register list (kernels cannot write globals) and the
+        # bound look-ahead resolver, hoisted so no per-event context object
+        # needs to be built.
+        self._globals_view = self.globals.values_view()
+        # Per-event hot-path state, resolved once: the tag table as a plain
+        # dict, look-ahead calculators by stream index, the default distance
+        # for unconfigured streams, and whether the scheduling policy is the
+        # paper's lowest-free-id policy (inlined in _dispatch).
+        self._tag_configs = configuration.tags
+        # Package-private peek at the filter's pre-partitioned load entries:
+        # _on_snoop runs for every demand read, and inlining the match saves
+        # a call per load (the filter's counters are still kept exactly).
+        self._load_entries = self.filter._load_entries
+        self._prefetch_entries = self.filter._prefetch_entries
+        self._filter_stats = self.filter.stats
+        # Convex hull of the load-watched ranges: a snooped address outside
+        # [lo, hi) cannot match any entry, so the per-load match scan is
+        # skipped entirely (counters are still kept exactly).
+        if self._load_entries:
+            self._load_lo = min(base for base, _end, _entry in self._load_entries)
+            self._load_hi = max(end for _base, end, _entry in self._load_entries)
+        else:
+            self._load_lo = self._load_hi = 0
+        # With exactly one watched range the hull test IS the match test, so
+        # the snoop path can reuse a pre-built single-entry match list.
+        self._single_load_match = (
+            [self._load_entries[0][2]] if len(self._load_entries) == 1 else None
+        )
+        # Upper bound on observations one fill can create (one for its tag
+        # plus one per matching prefetch range): when the observation queue
+        # has at least this much headroom, the fill fast path can batch its
+        # pushes without changing drop accounting.
+        self._max_fill_observations = 1 + len(self._prefetch_entries)
+        self._calc_by_index = {
+            stream.index: self._lookaheads[name]
+            for name, stream in self._streams.items()
+        }
+        self._unconfigured_distance = LookaheadCalculator().default_distance
+        self._fast_policy = type(self.policy) is LowestFreeIdPolicy
 
         self.stats = EngineStats()
         self._hierarchy: Optional[MemoryHierarchy] = None
@@ -149,33 +200,65 @@ class EventTriggeredPrefetcher:
     def _on_snoop(self, addr: int, time: float, level: str) -> None:
         del level  # The address filter watches every demand load.
         self.stats.loads_snooped += 1
-        matches = self.filter.match_load(addr)
-        if not matches:
+        # AddressFilter.match_load, inlined (it runs per demand read).
+        filter_stats = self._filter_stats
+        filter_stats.load_snoops += 1
+        if not self._load_lo <= addr < self._load_hi:
             return
+        matches = self._single_load_match
+        if matches is None:
+            matches = [
+                entry for base, end, entry in self._load_entries if base <= addr < end
+            ]
+            if not matches:
+                return
+        filter_stats.load_matches += 1
         hierarchy = self._hierarchy
         assert hierarchy is not None
         line_words: Optional[tuple[int, ...]] = None
         line_base = 0
         for entry in matches:
             if entry.time_iterations and entry.stream is not None:
-                self._lookahead_for(entry.stream).observe_iteration(time)
+                # Streams referenced by ranges are checked by validate(), so
+                # the plain dict access cannot miss.  observe_iteration is
+                # inlined: it runs per matched load on timing ranges, and
+                # the common case only bumps the window counter.
+                calculator = self._lookaheads[entry.stream]
+                start = calculator._window_start_time
+                if start is None:
+                    calculator._window_start_time = time
+                    calculator._window_count = 0
+                else:
+                    calculator._window_count = count = calculator._window_count + 1
+                    if count >= calculator.iteration_window:
+                        delta = time - start
+                        if delta > 0:
+                            calculator.iteration_time.update(delta / count)
+                            calculator._cached_distance = None
+                        calculator._window_start_time = time
+                        calculator._window_count = 0
             if entry.load_kernel is None:
                 continue
             if line_words is None:  # read the snooped line once, not per match
-                line_base = line_address(addr)
-                line_words = tuple(hierarchy.read_line(addr))
+                line_base = addr - (addr % CACHE_LINE_BYTES)
+                line_words = hierarchy._line_words_cache.get(line_base)
+                if line_words is None:
+                    line_words = hierarchy.read_line_words(addr)
+            # Positional construction: keyword NamedTuple construction costs
+            # measurably more, and this runs per matching demand load.
             observation = Observation(
-                kind=ObservationKind.LOAD,
-                addr=addr,
-                time=time,
-                kernel_name=entry.load_kernel,
-                line_base=line_base,
-                line_words=line_words,
-                stream=entry.stream,
-                chain_start_time=time if entry.chain_start else None,
+                _OBS_LOAD,
+                addr,
+                time,
+                entry.load_kernel,
+                line_base,
+                line_words,
+                entry.stream,
+                time if entry.chain_start else None,
             )
             self.stats.observations_created += 1
-            self._push(time, _EV_OBSERVATION, observation)
+            self._sequence = sequence = self._sequence + 1
+            heapq.heappush(self._heap, (time, sequence, _EV_OBSERVATION, observation))
 
     # ------------------------------------------------------------------ clock
 
@@ -184,19 +267,260 @@ class EventTriggeredPrefetcher:
         heapq.heappush(self._heap, (time, self._sequence, kind, payload))
 
     def advance_to(self, time: float) -> None:
-        """Process every internal event scheduled at or before ``time``."""
+        """Process every internal event scheduled at or before ``time``.
+
+        This is the engine's main loop, called before every demand access.
+        The per-event handlers (queue pushes with drop accounting, PPU
+        dispatch, kernel execution, request enqueueing) are inlined here:
+        with compiled kernels the interpreter is no longer the bottleneck,
+        and the call fan-out per event — handler → queue.push → dispatch →
+        policy.select → run_event → ppu.assign — was the next largest cost.
+        Semantics (event ordering, drop accounting, statistics) are
+        unchanged and pinned by the golden-stats suite; the blocking
+        ablation and custom scheduling policies take the original
+        method-per-step path.
+        """
 
         heap = self._heap
+        if not heap or heap[0][0] > time:
+            return
+        stats = self.stats
+        hierarchy = self._hierarchy
+        tag_configs = self._tag_configs
+        prefetch_entries = self._prefetch_entries
+        filter_stats = self._filter_stats
+        lookaheads = self._lookaheads
+        observation_queue = self.observation_queue
+        obs_entries = observation_queue.entries
+        obs_capacity = observation_queue.capacity
+        request_queue = self.request_queue
+        req_entries = request_queue.entries
+        req_capacity = request_queue.capacity
+        ppus = self.ppus
+        fast = self._fast_policy and not self.blocking
+        executors = self._executors
+        globals_view = self._globals_view
+        lookahead = self._lookahead_by_index
+        cycle_ratio = self.cycle_ratio
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        if hierarchy is not None:
+            prefetch_access = hierarchy.prefetch_access
+            next_free = hierarchy.l1_mshrs.next_free_time
+
         while heap and heap[0][0] <= time:
-            event_time, _seq, kind, payload = heapq.heappop(heap)
+            event_time, _seq, kind, payload = heappop(heap)
+            drain_after = False
+
             if kind == _EV_OBSERVATION:
-                self._handle_observation(event_time, payload)  # type: ignore[arg-type]
+                observation_queue.pushed += 1
+                if len(obs_entries) >= obs_capacity:
+                    obs_entries.popleft()
+                    observation_queue.dropped += 1
+                    stats.observations_dropped += 1
+                obs_entries.append(payload)
+
             elif kind == _EV_PPU_DONE:
-                self._handle_ppu_done(event_time, payload)  # type: ignore[arg-type]
+                prefetches, observation = payload
+                stream = observation.stream
+                chain_start_time = observation.chain_start_time
+                for addr, tag in prefetches:
+                    request_queue.pushed += 1
+                    if len(req_entries) >= req_capacity:
+                        req_entries.popleft()
+                        request_queue.dropped += 1
+                        stats.prefetches_dropped += 1
+                    req_entries.append(
+                        PrefetchRequest(addr, tag, event_time, stream, chain_start_time)
+                    )
+                # The PPU that finished is free again; fall through to
+                # dispatch waiting observations, then drain the requests
+                # (the drain must order after the dispatch's PPU-done
+                # pushes, so it runs below).
+                drain_after = bool(req_entries)
+
             elif kind == _EV_DRAIN:
                 self._handle_drain(event_time)
-            else:
-                self._handle_fill(event_time, payload)  # type: ignore[arg-type]
+                continue
+
+            else:  # _EV_FILL
+                # _fill_observations, inlined: EWMA chain updates and the
+                # follow-on observations push straight into the queue in the
+                # same order the list-building version produced them.
+                stats.fills_observed += 1
+                request = payload
+                if len(obs_entries) + self._max_fill_observations > obs_capacity:
+                    # Near-saturated observation queue: batching the pushes
+                    # could drop entries a dispatch between them would have
+                    # freed room for, so replicate the original
+                    # per-observation push→dispatch interleaving exactly.
+                    for observation in self._fill_observations(request, event_time):
+                        stats.observations_created += 1
+                        dropped_before = observation_queue.dropped
+                        observation_queue.push(observation)
+                        stats.observations_dropped += (
+                            observation_queue.dropped - dropped_before
+                        )
+                        self._dispatch(event_time)
+                    continue
+                addr = request.addr
+                line_base = addr - (addr % CACHE_LINE_BYTES)
+                line_words = hierarchy._line_words_cache.get(line_base)
+                if line_words is None:
+                    line_words = hierarchy.read_line_words(addr)
+                tag = request.tag
+                created = 0
+                tag_config = tag_configs.get(tag) if tag >= 0 else None
+                if tag_config is not None:
+                    stream = tag_config.stream or request.stream
+                    chain = request.chain_start_time
+                    if tag_config.chain_end and chain is not None and stream is not None:
+                        lookaheads[stream].observe_chain(chain, event_time)
+                        chain = None
+                    observation = Observation(
+                        _OBS_PREFETCH,
+                        addr,
+                        event_time,
+                        tag_config.kernel,
+                        line_base,
+                        line_words,
+                        stream,
+                        chain,
+                    )
+                    stats.observations_created += 1
+                    observation_queue.pushed += 1
+                    if len(obs_entries) >= obs_capacity:
+                        obs_entries.popleft()
+                        observation_queue.dropped += 1
+                        stats.observations_dropped += 1
+                    obs_entries.append(observation)
+                    created += 1
+                matched = False
+                for base, end, entry in prefetch_entries:
+                    if not base <= addr < end:
+                        continue
+                    if not matched:
+                        matched = True
+                        filter_stats.prefetch_matches += 1
+                    stream = entry.stream or request.stream
+                    chain = request.chain_start_time
+                    if entry.chain_end and chain is not None and stream is not None:
+                        lookaheads[stream].observe_chain(chain, event_time)
+                        chain = None
+                    if entry.chain_start:
+                        chain = event_time
+                    if entry.prefetch_kernel is None:
+                        continue
+                    observation = Observation(
+                        _OBS_PREFETCH,
+                        addr,
+                        event_time,
+                        entry.prefetch_kernel,
+                        line_base,
+                        line_words,
+                        stream,
+                        chain,
+                    )
+                    stats.observations_created += 1
+                    observation_queue.pushed += 1
+                    if len(obs_entries) >= obs_capacity:
+                        obs_entries.popleft()
+                        observation_queue.dropped += 1
+                        stats.observations_dropped += 1
+                    obs_entries.append(observation)
+                    created += 1
+                if not created:
+                    continue
+
+            # Dispatch: oldest waiting observation onto the lowest free PPU.
+            if obs_entries and not fast:
+                self._dispatch(event_time)
+            while obs_entries and fast:
+                # Lowest-free-id scan; PPU 0 free is the common case, so it
+                # is tested before paying for the loop.
+                free = ppus[0]
+                if free.busy_until > event_time:
+                    free = None
+                    for ppu in ppus:
+                        if ppu.busy_until <= event_time:
+                            free = ppu
+                            break
+                    if free is None:
+                        break
+                observation = obs_entries.popleft()
+                # _run_event, inlined.
+                prefetches, instructions, aborted = executors[observation.kernel_name](
+                    observation.addr,
+                    observation.line_base,
+                    observation.line_words,
+                    globals_view,
+                    lookahead,
+                )
+                ppu_stats = free.stats
+                stats.events_executed += 1
+                stats.ppu_instructions += instructions
+                if aborted:
+                    stats.kernel_aborts += 1
+                    ppu_stats.kernel_aborts += 1
+                duration = (
+                    instructions + EVENT_DISPATCH_OVERHEAD_PPU_CYCLES
+                ) * cycle_ratio
+                finish = event_time + duration
+                free.busy_until = finish
+                ppu_stats.events_executed += 1
+                ppu_stats.instructions_executed += instructions
+                ppu_stats.busy_cycles += duration
+                generated = len(prefetches)
+                ppu_stats.prefetches_generated += generated
+                stats.prefetches_generated += generated
+                self._sequence = sequence = self._sequence + 1
+                heappush(
+                    heap, (finish, sequence, _EV_PPU_DONE, (prefetches, observation))
+                )
+
+            if not drain_after:
+                continue
+            if heap and heap[0][0] <= event_time:
+                # Another event at this timestamp must process before the
+                # drain (its sequence number precedes the drain's), so the
+                # drain stays a heap event.  Pushing it here, after the
+                # dispatch, assigns the same relative order the original
+                # pre-dispatch push produced: every event already in the
+                # heap has a smaller sequence number either way.
+                self._sequence = sequence = self._sequence + 1
+                heappush(heap, (event_time, sequence, _EV_DRAIN, None))
+                continue
+            # No pending event precedes the drain, so pushing it would only
+            # make it the very next pop with nothing running in between —
+            # inline it instead (_handle_drain's loop with the locals
+            # already hoisted; sequence-relative order is unchanged).
+            while req_entries:
+                free_at = next_free(event_time)
+                if free_at > event_time:
+                    self._sequence = sequence = self._sequence + 1
+                    heappush(heap, (free_at, sequence, _EV_DRAIN, None))
+                    break
+                request = req_entries.popleft()
+                stats.prefetches_issued += 1
+                addr = request.addr
+                fill_time = prefetch_access(addr, event_time)
+                if fill_time is None:
+                    stats.prefetches_discarded += 1
+                    continue
+                request_tag = request.tag
+                if request_tag >= 0 and request_tag in tag_configs:
+                    interesting = True
+                else:
+                    for base, end, _entry in prefetch_entries:
+                        if base <= addr < end:
+                            filter_stats.prefetch_matches += 1
+                            interesting = True
+                            break
+                    else:
+                        interesting = request.chain_start_time is not None
+                if interesting:
+                    self._sequence = sequence = self._sequence + 1
+                    heappush(heap, (fill_time, sequence, _EV_FILL, request))
 
     def drain(self, until: float) -> None:
         """Run the engine past the end of the core trace (end-of-run cleanup)."""
@@ -205,19 +529,28 @@ class EventTriggeredPrefetcher:
 
     # ------------------------------------------------------------ observation
 
-    def _handle_observation(self, time: float, observation: Observation) -> None:
-        before = self.observation_queue.dropped
-        self.observation_queue.push(observation)
-        self.stats.observations_dropped += self.observation_queue.dropped - before
-        self._dispatch(time)
-
     def _dispatch(self, time: float) -> None:
         pending = self.observation_queue.entries
         if not pending:
             return
         ppus = self.ppus
-        select = self.policy.select
         blocking = self.blocking
+        if self._fast_policy:
+            # The paper's lowest-free-id policy, inlined: one scan instead of
+            # a policy-object call per dispatched observation.
+            while pending:
+                for ppu in ppus:
+                    if ppu.busy_until <= time:
+                        break
+                else:
+                    return
+                observation = pending.popleft()
+                if blocking:
+                    self._run_blocking(ppu, observation, time)
+                else:
+                    self._run_event(ppu, observation, time)
+            return
+        select = self.policy.select
         while pending:
             ppu = select(ppus, time)
             if ppu is None:
@@ -228,54 +561,33 @@ class EventTriggeredPrefetcher:
             else:
                 self._run_event(ppu, observation, time)
 
-    def _context_for(self, observation: Observation) -> KernelContext:
-        return KernelContext(
-            vaddr=observation.addr,
-            line_base=observation.line_base,
-            line_words=observation.line_words,
-            # The live list, not a snapshot: kernels cannot write globals,
-            # and one context is built per event — copying 32 registers per
-            # event was measurable on the hot path.
-            global_registers=self.globals.values_view(),
-            lookahead=self._lookahead_by_index,
-        )
-
     def _run_event(self, ppu: PPU, observation: Observation, start: float) -> None:
-        program = self.configuration.kernel(observation.kernel_name)
-        result = execute_kernel(program, self._context_for(observation))
-        self.stats.events_executed += 1
-        self.stats.ppu_instructions += result.instructions_executed
-        if result.aborted:
-            self.stats.kernel_aborts += 1
-            ppu.stats.kernel_aborts += 1
-        finish = ppu.assign(start, result.instructions_executed, self.cycle_ratio)
-        ppu.stats.prefetches_generated += len(result.prefetches)
-        self.stats.prefetches_generated += len(result.prefetches)
-        self._push(finish, _EV_PPU_DONE, (result.prefetches, observation))
-
-    # ---------------------------------------------------------------- PPU done
-
-    def _handle_ppu_done(self, time: float, payload: object) -> None:
-        prefetches, observation = payload  # type: ignore[misc]
-        request_queue = self.request_queue
-        before = request_queue.dropped
-        stream = observation.stream
-        chain_start_time = observation.chain_start_time
-        for addr, tag in prefetches:
-            request_queue.push(
-                PrefetchRequest(
-                    addr=addr,
-                    tag=tag,
-                    issue_time=time,
-                    stream=stream,
-                    chain_start_time=chain_start_time,
-                )
-            )
-        self.stats.prefetches_dropped += request_queue.dropped - before
-        if request_queue.entries:
-            self._push(time, _EV_DRAIN, None)
-        # The PPU that finished is free again; waiting observations can run.
-        self._dispatch(time)
+        prefetches, instructions, aborted = self._executors[observation.kernel_name](
+            observation.addr,
+            observation.line_base,
+            observation.line_words,
+            self._globals_view,
+            self._lookahead_by_index,
+        )
+        stats = self.stats
+        ppu_stats = ppu.stats
+        stats.events_executed += 1
+        stats.ppu_instructions += instructions
+        if aborted:
+            stats.kernel_aborts += 1
+            ppu_stats.kernel_aborts += 1
+        # PPU.assign, inlined (one method call per event was measurable).
+        duration = (instructions + EVENT_DISPATCH_OVERHEAD_PPU_CYCLES) * self.cycle_ratio
+        finish = start + duration
+        ppu.busy_until = finish
+        ppu_stats.events_executed += 1
+        ppu_stats.instructions_executed += instructions
+        ppu_stats.busy_cycles += duration
+        generated = len(prefetches)
+        ppu_stats.prefetches_generated += generated
+        stats.prefetches_generated += generated
+        self._sequence = sequence = self._sequence + 1
+        heapq.heappush(self._heap, (finish, sequence, _EV_PPU_DONE, (prefetches, observation)))
 
     # ------------------------------------------------------------------ drain
 
@@ -283,38 +595,54 @@ class EventTriggeredPrefetcher:
         hierarchy = self._hierarchy
         assert hierarchy is not None
         pending = self.request_queue.entries
+        stats = self.stats
+        next_free = hierarchy.l1_mshrs.next_free_time
+        prefetch_access = hierarchy.prefetch_access
+        tag_configs = self._tag_configs
+        prefetch_entries = self._prefetch_entries
+        filter_stats = self._filter_stats
+        heap = self._heap
         while pending:
-            free_at = hierarchy.l1_mshr_next_free(time)
+            free_at = next_free(time)
             if free_at > time:
-                self._push(free_at, _EV_DRAIN, None)
+                self._sequence = sequence = self._sequence + 1
+                heapq.heappush(heap, (free_at, sequence, _EV_DRAIN, None))
                 return
-            self._issue(pending.popleft(), time)
-
-    def _issue(self, request: PrefetchRequest, time: float) -> None:
-        hierarchy = self._hierarchy
-        assert hierarchy is not None
-        self.stats.prefetches_issued += 1
-        fill_time = hierarchy.prefetch_access(request.addr, time)
-        if fill_time is None:
-            self.stats.prefetches_discarded += 1
-            return
-        if self._fill_is_interesting(request):
-            self._push(fill_time, _EV_FILL, request)
+            # _issue and _fill_is_interesting, inlined into the drain loop
+            # (two calls per issued prefetch otherwise).
+            request = pending.popleft()
+            stats.prefetches_issued += 1
+            addr = request.addr
+            fill_time = prefetch_access(addr, time)
+            if fill_time is None:
+                stats.prefetches_discarded += 1
+                continue
+            if request.tag >= 0 and request.tag in tag_configs:
+                interesting = True
+            else:
+                for base, end, _entry in prefetch_entries:
+                    if base <= addr < end:
+                        filter_stats.prefetch_matches += 1
+                        interesting = True
+                        break
+                else:
+                    interesting = request.chain_start_time is not None
+            if interesting:
+                self._sequence = sequence = self._sequence + 1
+                heapq.heappush(heap, (fill_time, sequence, _EV_FILL, request))
 
     def _fill_is_interesting(self, request: PrefetchRequest) -> bool:
-        if request.tag >= 0 and self.configuration.tag(request.tag) is not None:
+        if request.tag >= 0 and self._tag_configs.get(request.tag) is not None:
             return True
-        if self.filter.match_prefetch(request.addr):
-            return True
+        # AddressFilter.match_prefetch, inlined (runs per issued prefetch).
+        addr = request.addr
+        for base, end, _entry in self._prefetch_entries:
+            if base <= addr < end:
+                self._filter_stats.prefetch_matches += 1
+                return True
         return request.chain_start_time is not None
 
     # ------------------------------------------------------------------- fill
-
-    def _handle_fill(self, time: float, request: PrefetchRequest) -> None:
-        self.stats.fills_observed += 1
-        for observation in self._fill_observations(request, time):
-            self.stats.observations_created += 1
-            self._handle_observation(time, observation)
 
     def _fill_observations(self, request: PrefetchRequest, time: float) -> list[Observation]:
         """Apply EWMA chain updates and build the follow-on observations for a fill."""
@@ -322,36 +650,43 @@ class EventTriggeredPrefetcher:
         hierarchy = self._hierarchy
         assert hierarchy is not None
         observations: list[Observation] = []
-        line_words = tuple(hierarchy.read_line(request.addr))
+        line_words = hierarchy.read_line_words(request.addr)
         line_base = line_address(request.addr)
 
         tag_config: Optional[TagConfig] = (
-            self.configuration.tag(request.tag) if request.tag >= 0 else None
+            self._tag_configs.get(request.tag) if request.tag >= 0 else None
         )
         if tag_config is not None:
             stream = tag_config.stream or request.stream
             chain = request.chain_start_time
             if tag_config.chain_end and chain is not None and stream is not None:
-                self._lookahead_for(stream).observe_chain(chain, time)
+                self._lookaheads[stream].observe_chain(chain, time)
                 chain = None
             observations.append(
                 Observation(
-                    kind=ObservationKind.PREFETCH,
-                    addr=request.addr,
-                    time=time,
-                    kernel_name=tag_config.kernel,
-                    line_base=line_base,
-                    line_words=line_words,
-                    stream=stream,
-                    chain_start_time=chain,
+                    _OBS_PREFETCH,
+                    request.addr,
+                    time,
+                    tag_config.kernel,
+                    line_base,
+                    line_words,
+                    stream,
+                    chain,
                 )
             )
 
-        for entry in self.filter.match_prefetch(request.addr):
+        # AddressFilter.match_prefetch, inlined (runs per interesting fill).
+        addr = request.addr
+        matches = [
+            entry for base, end, entry in self._prefetch_entries if base <= addr < end
+        ]
+        if matches:
+            self._filter_stats.prefetch_matches += 1
+        for entry in matches:
             stream = entry.stream or request.stream
             chain = request.chain_start_time
             if entry.chain_end and chain is not None and stream is not None:
-                self._lookahead_for(stream).observe_chain(chain, time)
+                self._lookaheads[stream].observe_chain(chain, time)
                 chain = None
             if entry.chain_start:
                 chain = time
@@ -359,14 +694,14 @@ class EventTriggeredPrefetcher:
                 continue
             observations.append(
                 Observation(
-                    kind=ObservationKind.PREFETCH,
-                    addr=request.addr,
-                    time=time,
-                    kernel_name=entry.prefetch_kernel,
-                    line_base=line_base,
-                    line_words=line_words,
-                    stream=stream,
-                    chain_start_time=chain,
+                    _OBS_PREFETCH,
+                    request.addr,
+                    time,
+                    entry.prefetch_kernel,
+                    line_base,
+                    line_words,
+                    stream,
+                    chain,
                 )
             )
         return observations
@@ -385,31 +720,32 @@ class EventTriggeredPrefetcher:
 
         while pending:
             current = pending.pop(0)
-            program = self.configuration.kernel(current.kernel_name)
-            result = execute_kernel(program, self._context_for(current))
+            prefetches, executed, aborted = self._executors[current.kernel_name](
+                current.addr,
+                current.line_base,
+                current.line_words,
+                self._globals_view,
+                self._lookahead_by_index,
+            )
             events += 1
-            instructions += result.instructions_executed
-            if result.aborted:
+            instructions += executed
+            if aborted:
                 self.stats.kernel_aborts += 1
                 ppu.stats.kernel_aborts += 1
             time += (
-                result.instructions_executed + EVENT_DISPATCH_OVERHEAD_PPU_CYCLES
+                executed + EVENT_DISPATCH_OVERHEAD_PPU_CYCLES
             ) * self.cycle_ratio
-            self.stats.prefetches_generated += len(result.prefetches)
-            ppu.stats.prefetches_generated += len(result.prefetches)
+            self.stats.prefetches_generated += len(prefetches)
+            ppu.stats.prefetches_generated += len(prefetches)
 
-            for addr, tag in result.prefetches:
+            for addr, tag in prefetches:
                 self.stats.prefetches_issued += 1
                 fill_time = hierarchy.prefetch_access(addr, time)
                 if fill_time is None:
                     self.stats.prefetches_discarded += 1
                     continue
                 request = PrefetchRequest(
-                    addr=addr,
-                    tag=tag,
-                    issue_time=time,
-                    stream=current.stream,
-                    chain_start_time=current.chain_start_time,
+                    addr, tag, time, current.stream, current.chain_start_time
                 )
                 if not self._fill_is_interesting(request):
                     continue
@@ -434,10 +770,10 @@ class EventTriggeredPrefetcher:
         return calculator
 
     def _lookahead_by_index(self, index: int) -> int:
-        name = self._stream_by_index.get(index)
-        if name is None:
-            return LookaheadCalculator().default_distance
-        return self._lookaheads[name].lookahead()
+        calculator = self._calc_by_index.get(index)
+        if calculator is None:
+            return self._unconfigured_distance
+        return calculator.lookahead()
 
     def lookahead_distance(self, stream: str) -> int:
         """Current look-ahead distance for ``stream`` (exposed for analysis/tests)."""

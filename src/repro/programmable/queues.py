@@ -22,6 +22,8 @@ T = TypeVar("T")
 class _DroppableFIFO(Generic[T]):
     """A bounded FIFO that drops its oldest entry when full."""
 
+    __slots__ = ("_capacity", "entries", "pushed", "dropped")
+
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ConfigurationError("queue capacity must be at least 1")
@@ -64,6 +66,10 @@ class _DroppableFIFO(Generic[T]):
 class ObservationQueue(_DroppableFIFO[Observation]):
     """FIFO of filtered observations waiting for a free PPU."""
 
+    __slots__ = ()
+
 
 class PrefetchRequestQueue(_DroppableFIFO[PrefetchRequest]):
     """FIFO of generated prefetch addresses waiting for a free L1 MSHR."""
+
+    __slots__ = ()

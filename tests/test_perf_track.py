@@ -80,6 +80,28 @@ class TestDiff:
         assert diff.worst_regression() == pytest.approx(0.0)
         assert "figure7 representative" in format_diff(diff)
 
+    def test_mode_speedups_aggregate_per_mode(self):
+        old = _snapshot({
+            ("randacc", "manual"): 0.40, ("intsort", "manual"): 0.20,
+            ("randacc", "none"): 0.10, ("intsort", "none"): 0.10,
+        })
+        new = _snapshot({
+            ("randacc", "manual"): 0.20, ("intsort", "manual"): 0.10,
+            ("randacc", "none"): 0.10, ("intsort", "none"): 0.10,
+        })
+        diff = diff_snapshots(old, new)
+        modes = diff.mode_speedups()
+        assert set(modes) == {"manual", "none"}
+        assert modes["manual"].old_wall == pytest.approx(0.60)
+        assert modes["manual"].new_wall == pytest.approx(0.30)
+        assert modes["manual"].speedup == pytest.approx(2.0)
+        assert modes["none"].speedup == pytest.approx(1.0)
+        rendered = format_diff(diff)
+        assert "mode manual" in rendered
+        assert "mode none" in rendered
+        # The total line is still present (the regression gate keys off it).
+        assert "total:" in rendered
+
     def test_regression_detection(self):
         old = _snapshot({("intsort", "none"): 0.10})
         new = _snapshot({("intsort", "none"): 0.15})

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Print the compiled Python source of a workload's PPU kernels.
+
+The kernel compiler (``repro.programmable.compiler``) turns each kernel into
+a specialised Python closure; this tool shows exactly what was generated —
+the debugging view for kernel authors.  For every kernel of the chosen
+workload and configuration it prints the instruction listing's vital stats
+(digest, instruction count, encoded bytes) followed by the generated source.
+
+Examples::
+
+    # All manual-mode kernels of the unionfind workload
+    python tools/dump_kernel.py unionfind
+
+    # One kernel, by name, from the pragma-generated configuration
+    python tools/dump_kernel.py conjgrad --mode pragma --kernel cg_row_start
+
+    # List registered workloads
+    python tools/dump_kernel.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.programmable.compiler import generate_source, program_digest  # noqa: E402
+from repro.workloads import build_workload, registry  # noqa: E402
+
+#: How each dumpable mode resolves to a prefetcher configuration.
+_MODES = {
+    "manual": lambda workload: workload.manual_configuration(),
+    "converted": lambda workload: workload.converted_configuration(),
+    "pragma": lambda workload: workload.pragma_configuration(),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("workload", nargs="?", help="registered workload name")
+    parser.add_argument("--mode", default="manual", choices=sorted(_MODES),
+                        help="which kernel configuration to dump (default: manual)")
+    parser.add_argument("--kernel", default=None, metavar="NAME",
+                        help="dump only the kernel with this name")
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "default"])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--list", action="store_true", dest="list_workloads",
+                        help="list registered workloads and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_workloads:
+        for name in registry.names():
+            print(name)
+        return 0
+    if not args.workload:
+        parser.error("a workload name is required (or --list)")
+
+    if args.workload not in registry.names():
+        print(f"unknown workload {args.workload!r}; try --list", file=sys.stderr)
+        return 2
+
+    workload = build_workload(args.workload, scale=args.scale, seed=args.seed)
+    try:
+        configuration = _MODES[args.mode](workload)
+    except NotImplementedError:
+        print(f"{args.workload} has no {args.mode} configuration", file=sys.stderr)
+        return 2
+
+    kernels = configuration.kernels
+    if args.kernel is not None:
+        if args.kernel not in kernels:
+            print(
+                f"kernel {args.kernel!r} not in {sorted(kernels)}", file=sys.stderr
+            )
+            return 2
+        kernels = {args.kernel: kernels[args.kernel]}
+    if not kernels:
+        print(f"{args.workload}/{args.mode} registers no kernels", file=sys.stderr)
+        return 2
+
+    for index, (name, program) in enumerate(kernels.items()):
+        if index:
+            print()
+        print(
+            f"# kernel {name!r} — {len(program.instructions)} instructions, "
+            f"{program.size_bytes} bytes, digest {program_digest(program)[:12]}"
+        )
+        print(generate_source(program), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
