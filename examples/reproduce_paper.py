@@ -37,6 +37,10 @@ def main() -> None:
                         help="worker processes (implies --parallel; default: all cores)")
     parser.add_argument("--cache", metavar="DIR", default=None,
                         help="persistent result-cache directory (warm reruns simulate nothing)")
+    parser.add_argument("--trace-store", metavar="DIR|off", default=None,
+                        help="trace-artifact store directory, or 'off' to disable the "
+                             "tier (default: $REPRO_TRACE_STORE, falling back to the "
+                             "per-user cache directory)")
     parser.add_argument("--write-experiments", metavar="PATH", nargs="?",
                         const="EXPERIMENTS.md", default=None,
                         help="write the Markdown report to PATH (default EXPERIMENTS.md)")
@@ -47,7 +51,8 @@ def main() -> None:
     args = parser.parse_args()
 
     parallel = args.parallel or args.jobs is not None
-    engine = build_engine(parallel=parallel, workers=args.jobs, cache_dir=args.cache)
+    engine = build_engine(parallel=parallel, workers=args.jobs, cache_dir=args.cache,
+                          trace_store_dir=args.trace_store)
     report = run_report(
         workloads=args.workloads,
         scale=args.scale,
@@ -65,7 +70,13 @@ def main() -> None:
         print(f"  deduplicated:     {stats.deduplicated}")
         print(f"  cache hits:       {stats.cache_hits}")
         print(f"  simulated:        {stats.executed} ({stats.unavailable} unavailable)")
+        print(f"  failed:           {stats.failed}")
+        print(f"  traces:           {stats.trace_hits} warm, {stats.trace_built} emitted "
+              f"({stats.trace_stored} stored)")
         print(f"  runner:           {stats.runner}")
+        for label, count in sorted(stats.failures.items()):
+            suffix = f" (×{count})" if count > 1 else ""
+            print(f"  FAILED: {label}{suffix}")
 
     if args.write_experiments:
         write_markdown(report, args.write_experiments)

@@ -105,14 +105,28 @@ class OutOfOrderCore:
         demand_access = hierarchy.demand_access_time
         prefetch_access = hierarchy.prefetch_access
 
-        kinds, addrs, counts, deps_table = trace.columns()
+        # The trace's native representation is five flat ``array`` columns
+        # (compact storage, cheap pickling/encoding), but CPython iterates
+        # plain lists measurably faster than arrays — an array re-boxes an
+        # int object on every subscript, a list hands out ready references.
+        # One ``tolist()`` per column converts at C speed, and the lists are
+        # dropped when this frame returns, so the artifact-tier memory win
+        # is untouched.
+        kinds, addrs, counts, dep_offsets, dep_values = (
+            column.tolist() for column in trace.columns()
+        )
+        # ``dep_offsets`` has n+1 prefix offsets; op i's deps end at entry
+        # i+1, so the shifted slice zips as a per-op "deps end" column and
+        # the loop below never subscripts the offsets.
+        dep_ends = dep_offsets[1:]
         kind_load = int(OpKind.LOAD)
         kind_store = int(OpKind.STORE)
         kind_swpf = int(OpKind.SOFTWARE_PREFETCH)
         kind_branch = int(OpKind.BRANCH)
 
         total_ops = len(kinds)
-        completion: list[float] = [0.0] * total_ops
+        completion: list[float] = []
+        completion_append = completion.append
         retire_window: deque[float] = deque()
         retire_append = retire_window.append
         retire_popleft = retire_window.popleft
@@ -139,11 +153,15 @@ class OutOfOrderCore:
         load_latency_total = 0.0
         load_stall_total = 0.0
 
-        # zip() iteration instead of four list __getitem__ calls per op;
-        # ``index`` is still needed to record completion times for deps.
-        for index, (kind, addr, count, deps) in enumerate(
-            zip(kinds, addrs, counts, deps_table)
-        ):
+        # zip() iteration instead of per-op column __getitem__ calls; the
+        # packed dependence column is consumed with a running cursor
+        # (``dep_pos`` always equals the current op's dep_offsets entry), so
+        # no per-op tuple — and, for the dep-free majority of ops, not even
+        # an iterator — is ever materialised.  Completion times are recorded
+        # by appending (op i completes in iteration i), which also drops the
+        # enumerate bookkeeping from the loop.
+        dep_pos = 0
+        for kind, addr, count, dep_end in zip(kinds, addrs, counts, dep_ends):
             instructions += count
 
             # Reorder-buffer constraint: the window holds rob_entries ops.
@@ -158,8 +176,9 @@ class OutOfOrderCore:
             previous_issue = issue_time
 
             deps_ready = issue_time
-            for dep in deps:
-                dep_time = completion[dep]
+            while dep_pos < dep_end:
+                dep_time = completion[dep_values[dep_pos]]
+                dep_pos += 1
                 if dep_time > deps_ready:
                     deps_ready = dep_time
 
@@ -205,7 +224,7 @@ class OutOfOrderCore:
                 base = fetch_clock if fetch_clock > deps_ready else deps_ready
                 complete = base + alu_latency
 
-            completion[index] = complete
+            completion_append(complete)
 
             if complete > last_retire:
                 last_retire = complete

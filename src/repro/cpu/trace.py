@@ -14,15 +14,41 @@ first load's data returns, whereas independent loads overlap up to the
 load-queue and MSHR limits.  This mirrors footnote 1 of the paper: the hash
 join's list walk cannot be overlapped by the out-of-order core because each
 load depends on the previous one.
+
+Representation
+--------------
+
+A :class:`Trace` is backed by flat parallel arrays (:mod:`array` typecodes in
+parentheses), not by a list of op objects:
+
+* ``kinds`` (``'b'``) — one :class:`OpKind` code per op;
+* ``addrs`` (``'q'``) — the virtual address (0 for non-memory ops);
+* ``counts`` (``'q'``) — machine instructions represented by the op;
+* ``dep_offsets`` (``'q'``, length ``len(trace) + 1``) — prefix offsets into
+  ``dep_values``: op *i*'s dependences are
+  ``dep_values[dep_offsets[i]:dep_offsets[i + 1]]``;
+* ``dep_values`` (``'q'``) — the packed dependence indices of every op.
+
+:meth:`Trace.columns` hands those arrays out directly — they *are* the native
+representation, which is what the core's replay loop iterates and what the
+on-disk :mod:`repro.trace_store` serialises (one ``tobytes()`` per column).
+:class:`TraceOp` dataclasses are materialised only on demand (indexing,
+iteration), so a trace costs ~25–40 bytes per dynamic op instead of the
+several hundred the object-per-op form took, and pickling or encoding it is
+a handful of buffer copies rather than millions of object walks.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterable, Iterator, Sequence
 
 from ..errors import TraceError
+
+#: Array typecodes of the five flat columns, in :meth:`Trace.columns` order.
+COLUMN_TYPECODES = ("b", "q", "q", "q", "q")
 
 
 class OpKind(IntEnum):
@@ -43,6 +69,9 @@ class TraceOp:
     ``count`` is the number of machine instructions the op represents (only
     greater than one for :attr:`OpKind.COMPUTE` blocks); ``deps`` are indices
     of earlier ops whose results this op consumes.
+
+    ``TraceOp`` is the *view* type: traces store flat columns and materialise
+    these objects only when an op is indexed or iterated.
     """
 
     kind: OpKind
@@ -52,70 +81,167 @@ class TraceOp:
 
 
 class Trace:
-    """An in-memory dynamic trace (a sequence of :class:`TraceOp`)."""
+    """An in-memory dynamic trace, backed by flat parallel arrays."""
 
-    def __init__(self, ops: Sequence[TraceOp]) -> None:
-        self._ops = list(ops)
-        self._columns: tuple[list[int], list[int], list[int], list[tuple[int, ...]]] | None = None
+    __slots__ = ("_kinds", "_addrs", "_counts", "_dep_offsets", "_dep_values")
 
-    def columns(self) -> tuple[list[int], list[int], list[int], list[tuple[int, ...]]]:
-        """Return ``(kinds, addrs, counts, deps)`` as parallel flat lists.
+    def __init__(self, ops: Sequence[TraceOp] = ()) -> None:
+        kinds = array("b")
+        addrs = array("q")
+        counts = array("q")
+        dep_offsets = array("q", [0])
+        dep_values = array("q")
+        for op in ops:
+            kinds.append(op.kind)
+            addrs.append(op.addr)
+            counts.append(op.count)
+            dep_values.extend(op.deps)
+            dep_offsets.append(len(dep_values))
+        self._kinds = kinds
+        self._addrs = addrs
+        self._counts = counts
+        self._dep_offsets = dep_offsets
+        self._dep_values = dep_values
 
-        The structure-of-arrays view is what the core's replay loop iterates:
-        plain-int kind codes and pre-extracted fields avoid four dataclass
-        attribute chases per dynamic op.  Computed once and memoised — traces
-        are immutable after construction and replayed once per mode.
+    @classmethod
+    def from_columns(
+        cls,
+        kinds: array,
+        addrs: array,
+        counts: array,
+        dep_offsets: array,
+        dep_values: array,
+    ) -> "Trace":
+        """Adopt pre-built flat columns (no copy).
+
+        The caller (the :class:`TraceBuilder`, the trace store's decoder)
+        guarantees consistency: equal column lengths, ``dep_offsets`` of
+        length ``len(kinds) + 1`` starting at 0 and ending at
+        ``len(dep_values)``.  :meth:`validate` re-checks the dependence
+        structure when asked.
         """
 
-        if self._columns is None:
-            ops = self._ops
-            self._columns = (
-                [int(op.kind) for op in ops],
-                [op.addr for op in ops],
-                [op.count for op in ops],
-                [op.deps for op in ops],
+        n = len(kinds)
+        if not (len(addrs) == len(counts) == n and len(dep_offsets) == n + 1):
+            raise TraceError(
+                f"inconsistent trace columns: {n} kinds, {len(addrs)} addrs, "
+                f"{len(counts)} counts, {len(dep_offsets)} dep offsets"
             )
-        return self._columns
+        if dep_offsets[0] != 0 or dep_offsets[-1] != len(dep_values):
+            raise TraceError(
+                f"dependence offsets do not span the value column: "
+                f"[{dep_offsets[0]}, {dep_offsets[-1]}] vs {len(dep_values)} values"
+            )
+        trace = cls.__new__(cls)
+        trace._kinds = kinds
+        trace._addrs = addrs
+        trace._counts = counts
+        trace._dep_offsets = dep_offsets
+        trace._dep_values = dep_values
+        return trace
+
+    def columns(self) -> tuple[array, array, array, array, array]:
+        """Return ``(kinds, addrs, counts, dep_offsets, dep_values)``.
+
+        This *is* the backing representation — five flat arrays, zero
+        conversion cost.  Op *i*'s dependences are
+        ``dep_values[dep_offsets[i]:dep_offsets[i + 1]]``; the core's replay
+        loop walks ``dep_values`` with a running cursor instead of
+        materialising a tuple per op.
+        """
+
+        return (
+            self._kinds,
+            self._addrs,
+            self._counts,
+            self._dep_offsets,
+            self._dep_values,
+        )
+
+    def nbytes(self) -> int:
+        """Bytes occupied by the backing arrays (the artifact-tier footprint)."""
+
+        return sum(
+            column.buffer_info()[1] * column.itemsize for column in self.columns()
+        )
+
+    def deps_of(self, index: int) -> tuple[int, ...]:
+        """The dependence indices of op ``index`` as a tuple."""
+
+        start = self._dep_offsets[index]
+        end = self._dep_offsets[index + 1]
+        return tuple(self._dep_values[start:end])
 
     def __len__(self) -> int:
-        return len(self._ops)
+        return len(self._kinds)
 
     def __iter__(self) -> Iterator[TraceOp]:
-        return iter(self._ops)
+        dep_values = self._dep_values
+        dep_offsets = self._dep_offsets
+        start = 0
+        for index, (kind, addr, count) in enumerate(
+            zip(self._kinds, self._addrs, self._counts)
+        ):
+            end = dep_offsets[index + 1]
+            yield TraceOp(
+                OpKind(kind), addr=addr, count=count,
+                deps=tuple(dep_values[start:end]),
+            )
+            start = end
 
     def __getitem__(self, index: int) -> TraceOp:
-        return self._ops[index]
+        if index < 0:
+            index += len(self._kinds)
+        if not 0 <= index < len(self._kinds):
+            raise IndexError(f"trace index {index} out of range")
+        return TraceOp(
+            OpKind(self._kinds[index]),
+            addr=self._addrs[index],
+            count=self._counts[index],
+            deps=self.deps_of(index),
+        )
 
     @property
     def ops(self) -> list[TraceOp]:
-        return self._ops
+        """The trace as a list of :class:`TraceOp` (materialised on demand)."""
+
+        return list(self)
 
     # -------------------------------------------------------------- summaries
 
     def instruction_count(self) -> int:
         """Total dynamic machine instructions represented by the trace."""
 
-        return sum(op.count for op in self._ops)
+        return sum(self._counts)
 
     def count_kind(self, kind: OpKind) -> int:
-        return sum(1 for op in self._ops if op.kind == kind)
+        code = int(kind)
+        return sum(1 for k in self._kinds if k == code)
 
     def memory_op_count(self) -> int:
-        return sum(1 for op in self._ops if op.kind in (OpKind.LOAD, OpKind.STORE))
+        load = int(OpKind.LOAD)
+        store = int(OpKind.STORE)
+        return sum(1 for k in self._kinds if k == load or k == store)
 
     def validate(self) -> None:
         """Check that every dependence points at an earlier op."""
 
-        for index, op in enumerate(self._ops):
-            for dep in op.deps:
+        dep_offsets = self._dep_offsets
+        dep_values = self._dep_values
+        pos = 0
+        for index in range(len(self._kinds)):
+            end = dep_offsets[index + 1]
+            while pos < end:
+                dep = dep_values[pos]
                 if dep < 0 or dep >= index:
                     raise TraceError(
                         f"op {index} depends on op {dep}, which is not an earlier op"
                     )
+                pos += 1
 
     def summary(self) -> dict[str, int]:
         return {
-            "ops": len(self._ops),
+            "ops": len(self),
             "instructions": self.instruction_count(),
             "loads": self.count_kind(OpKind.LOAD),
             "stores": self.count_kind(OpKind.STORE),
@@ -135,52 +261,73 @@ class TraceBuilder:
         a = tb.load(addr_of_A)              # independent load
         b = tb.load(addr_of_B, deps=[a])    # dependent (indirect) load
         tb.compute(2, deps=[b])             # work on the loaded value
+
+    The builder appends straight into the flat column arrays — no
+    :class:`TraceOp` objects are allocated on the emission path.
     """
 
     def __init__(self) -> None:
-        self._ops: list[TraceOp] = []
+        self._kinds = array("b")
+        self._addrs = array("q")
+        self._counts = array("q")
+        self._dep_offsets = array("q", [0])
+        self._dep_values = array("q")
 
-    def _emit(self, op: TraceOp) -> int:
-        for dep in op.deps:
-            if dep < 0 or dep >= len(self._ops):
+    def _emit(self, kind: int, addr: int, count: int, deps: Iterable[int]) -> int:
+        index = len(self._kinds)
+        dep_values = self._dep_values
+        before = len(dep_values)
+        for dep in deps:
+            if dep < 0 or dep >= index:
+                del dep_values[before:]
                 raise TraceError(
                     f"dependence {dep} does not refer to an earlier op "
-                    f"(trace currently has {len(self._ops)} ops)"
+                    f"(trace currently has {index} ops)"
                 )
-        self._ops.append(op)
-        return len(self._ops) - 1
+            dep_values.append(dep)
+        self._kinds.append(kind)
+        self._addrs.append(addr)
+        self._counts.append(count)
+        self._dep_offsets.append(len(dep_values))
+        return index
 
     def load(self, addr: int, deps: Iterable[int] = ()) -> int:
         """Record a demand load of the word at ``addr``."""
 
-        return self._emit(TraceOp(OpKind.LOAD, addr=addr, deps=tuple(deps)))
+        return self._emit(OpKind.LOAD, addr, 1, deps)
 
     def store(self, addr: int, deps: Iterable[int] = ()) -> int:
         """Record a store to the word at ``addr``."""
 
-        return self._emit(TraceOp(OpKind.STORE, addr=addr, deps=tuple(deps)))
+        return self._emit(OpKind.STORE, addr, 1, deps)
 
     def compute(self, count: int = 1, deps: Iterable[int] = ()) -> int:
         """Record ``count`` ALU instructions consuming the given results."""
 
         if count < 1:
             raise TraceError("compute blocks must contain at least one instruction")
-        return self._emit(TraceOp(OpKind.COMPUTE, count=count, deps=tuple(deps)))
+        return self._emit(OpKind.COMPUTE, 0, count, deps)
 
     def branch(self, deps: Iterable[int] = ()) -> int:
         """Record a conditional branch depending on the given results."""
 
-        return self._emit(TraceOp(OpKind.BRANCH, deps=tuple(deps)))
+        return self._emit(OpKind.BRANCH, 0, 1, deps)
 
     def software_prefetch(self, addr: int, deps: Iterable[int] = ()) -> int:
         """Record an explicit software-prefetch instruction for ``addr``."""
 
-        return self._emit(TraceOp(OpKind.SOFTWARE_PREFETCH, addr=addr, deps=tuple(deps)))
+        return self._emit(OpKind.SOFTWARE_PREFETCH, addr, 1, deps)
 
     def build(self) -> Trace:
-        """Return the completed trace."""
+        """Return the completed trace (adopting the builder's columns)."""
 
-        return Trace(self._ops)
+        return Trace.from_columns(
+            self._kinds[:],
+            self._addrs[:],
+            self._counts[:],
+            self._dep_offsets[:],
+            self._dep_values[:],
+        )
 
     def __len__(self) -> int:
-        return len(self._ops)
+        return len(self._kinds)

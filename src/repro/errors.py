@@ -32,6 +32,16 @@ class TraceError(ReproError):
     """A malformed dynamic trace (bad dependence, unknown op kind, ...)."""
 
 
+class TraceStoreError(ReproError):
+    """A trace-store artifact could not be encoded or decoded.
+
+    Raised by :mod:`repro.trace_store.format` on malformed, truncated or
+    checksum-failing artifact bytes.  :meth:`repro.trace_store.TraceStore.get`
+    converts it into a cache miss — a corrupt on-disk entry must never
+    escape to the engine.
+    """
+
+
 class KernelError(ReproError):
     """An invalid PPU kernel program (bad register, unknown opcode, ...)."""
 

@@ -23,6 +23,7 @@ from ..sim.engine import (
     SerialRunner,
     SimEngine,
 )
+from ..trace_store import trace_store_from_spec
 from ..sim.modes import FIGURE7_MODES, PrefetchMode
 from ..workloads import registry
 from . import paper_values
@@ -81,10 +82,22 @@ def build_engine(
     parallel: bool = False,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    trace_store_dir: Optional[str] = None,
 ) -> SimEngine:
-    """Assemble an engine from the common driver knobs."""
+    """Assemble an engine from the common driver knobs.
 
-    runner = MultiprocessRunner(workers) if parallel else SerialRunner()
+    ``trace_store_dir`` mirrors the result cache's knob for the trace
+    artifact tier: ``None`` uses the environment default
+    (``REPRO_TRACE_STORE``, falling back to the per-user cache directory),
+    ``"off"`` disables the tier, and any other value names the directory.
+    """
+
+    store = trace_store_from_spec(trace_store_dir)
+    runner = (
+        MultiprocessRunner(workers, trace_store=store)
+        if parallel
+        else SerialRunner(trace_store=store)
+    )
     cache = ResultCache(cache_dir) if cache_dir else None
     return SimEngine(runner=runner, cache=cache)
 
@@ -100,6 +113,7 @@ def run_report(
     parallel: bool = False,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    trace_store_dir: Optional[str] = None,
 ) -> ReproductionReport:
     """Run the full experiment suite and return the collected report.
 
@@ -112,7 +126,10 @@ def run_report(
     names = list(workloads) if workloads is not None else registry.paper_names()
     system_config = config if config is not None else SystemConfig.scaled()
     if engine is None:
-        engine = build_engine(parallel=parallel, workers=workers, cache_dir=cache_dir)
+        engine = build_engine(
+            parallel=parallel, workers=workers, cache_dir=cache_dir,
+            trace_store_dir=trace_store_dir,
+        )
 
     # One plan drives everything: the Figure 7 comparison modes (shared by
     # Figures 8, 10, 11 and the traffic analysis) plus the Figure 9 sweeps.

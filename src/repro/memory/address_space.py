@@ -171,6 +171,43 @@ class AddressSpace:
             array.fill(values)
         return array
 
+    def map_region(self, name: str, base: int, size_bytes: int) -> Region:
+        """Map a zero-filled region at an *explicit* base address.
+
+        This is the trace-artifact replay path: a stored trace carries the
+        region table of the address space it was emitted against, and a
+        replay workload reconstructs an identically-shaped space from it —
+        same bases, same extents — without re-running the workload's data
+        build.  Values read as zero, which is sufficient for every
+        non-programmable mode (the hierarchy only asks ``is_mapped`` for
+        prefetch drops; only PPU kernels read line *contents*).
+
+        Raises:
+            AllocationError: On unaligned/overlapping placement or a
+                non-positive size.
+        """
+
+        if base <= 0 or base % WORD_BYTES != 0:
+            raise AllocationError(f"{name}: region base {base:#x} is not word aligned")
+        if size_bytes <= 0 or size_bytes % WORD_BYTES != 0:
+            raise AllocationError(
+                f"{name}: region size {size_bytes} is not a positive word multiple"
+            )
+        region = Region(name=name, base=base, size_bytes=size_bytes)
+        index = bisect.bisect_right(self._region_bases, base)
+        before = self._regions[index - 1] if index > 0 else None
+        after = self._regions[index] if index < len(self._regions) else None
+        if (before is not None and before.end > base) or (
+            after is not None and region.end > after.base
+        ):
+            raise AllocationError(f"{name}: region at {base:#x} overlaps an existing region")
+        self._region_bases.insert(index, base)
+        self._regions.insert(index, region)
+        self._buffers.insert(index, np.zeros(size_bytes // WORD_BYTES, dtype=np.uint64))
+        if region.end > self._next_addr:
+            self._next_addr = region.end
+        return region
+
     @property
     def regions(self) -> tuple[Region, ...]:
         return tuple(self._regions)

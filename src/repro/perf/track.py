@@ -14,11 +14,22 @@ module provides the pieces behind ``tools/perf_track.py``:
   per-point and total speedups, which is how a PR proves an optimisation
   (or how CI catches a regression).
 
-Timing records *wall time of the simulation call only*: workload build,
-trace generation and result post-processing are excluded, because those are
-not the hot path the overhaul targets.  Each point is measured ``repeats``
-times and the minimum is kept (the usual best-of-N noise filter for
-micro-benchmarks).
+Each record carries two phases, separately measured:
+
+* ``wall_seconds`` — wall time of the ``simulate()`` call only, measured
+  ``repeats`` times with the minimum kept (the usual best-of-N noise filter
+  for micro-benchmarks).  The CI regression gate keys off the total of this
+  phase, exactly as before the trace-artifact tier existed.
+* ``build_seconds`` — the *incremental* cost of preparing that record's
+  inputs before the timed simulations: trace-store decode on a warm store,
+  or workload data build + trace emission (+ artifact persist) on a miss.
+  Preparation is shared within a workload, so each record pays only what
+  its mode added — summing ``build_seconds`` over a snapshot gives the
+  suite's total preparation cost.
+
+The split is what lets a diff say *which phase moved*: a trace-tier PR
+shifts ``build``, a hot-path PR shifts ``sim``, and the
+``format_diff`` breakdown reports both (plus their combined suite total).
 """
 
 from __future__ import annotations
@@ -34,10 +45,16 @@ from typing import Iterable, Optional, Sequence, Union
 from ..config import SystemConfig
 from ..sim.modes import PrefetchMode, mode_available
 from ..sim.system import simulate
-from ..workloads import build_workload, registry
+from ..trace_store import GroupResolver, default_trace_store, variant_for_mode
+from ..workloads import registry
 
-#: Snapshot schema version; bump when the JSON layout changes.
-SCHEMA_VERSION = 1
+#: Snapshot schema version; bump when the JSON layout changes.  Version 2
+#: added the per-record ``build_seconds`` phase (absent fields load as 0.0,
+#: so version-1 snapshots remain diffable).
+SCHEMA_VERSION = 2
+
+#: Sentinel: resolve the trace store from the environment.
+_DEFAULT_STORE = object()
 
 #: File-name pattern of trajectory snapshots.
 _SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
@@ -61,6 +78,10 @@ class BenchRecord:
     ops: int
     instructions: int
     cycles: float
+    #: Incremental preparation cost (trace decode / workload build + trace
+    #: emission) paid before this record's timed simulations.  0.0 in
+    #: schema-1 snapshots, which predate the phase split.
+    build_seconds: float = 0.0
 
     @property
     def ops_per_second(self) -> float:
@@ -73,6 +94,7 @@ class BenchRecord:
             "workload": self.workload,
             "mode": self.mode,
             "wall_seconds": self.wall_seconds,
+            "build_seconds": self.build_seconds,
             "ops": self.ops,
             "instructions": self.instructions,
             "cycles": self.cycles,
@@ -88,6 +110,7 @@ class BenchRecord:
             ops=int(data["ops"]),
             instructions=int(data["instructions"]),
             cycles=float(data["cycles"]),
+            build_seconds=float(data.get("build_seconds", 0.0)),
         )
 
 
@@ -106,6 +129,16 @@ class BenchSnapshot:
     @property
     def total_wall_seconds(self) -> float:
         return sum(record.wall_seconds for record in self.records)
+
+    @property
+    def total_build_seconds(self) -> float:
+        return sum(record.build_seconds for record in self.records)
+
+    @property
+    def suite_seconds(self) -> float:
+        """Total build + simulation time — what running the suite costs."""
+
+        return self.total_wall_seconds + self.total_build_seconds
 
     def record_for(self, workload: str, mode: str) -> Optional[BenchRecord]:
         for record in self.records:
@@ -128,6 +161,7 @@ class BenchSnapshot:
             "python": self.python,
             "machine": self.machine,
             "total_wall_seconds": self.total_wall_seconds,
+            "total_build_seconds": self.total_build_seconds,
             "records": [record.as_dict() for record in self.records],
         }
 
@@ -152,12 +186,20 @@ class RecordDiff:
     mode: str
     old_wall: float
     new_wall: float
+    old_build: float = 0.0
+    new_build: float = 0.0
 
     @property
     def speedup(self) -> float:
-        """Wall-clock speedup (> 1 means the new snapshot is faster)."""
+        """Wall-clock (sim-phase) speedup (> 1 means the new snapshot is faster)."""
 
         return self.old_wall / self.new_wall if self.new_wall > 0 else 0.0
+
+    @property
+    def build_speedup(self) -> float:
+        """Build-phase speedup (0.0 when the new build phase is free)."""
+
+        return self.old_build / self.new_build if self.new_build > 0 else 0.0
 
 
 @dataclass
@@ -182,6 +224,28 @@ class SnapshotDiff:
     @property
     def total_speedup(self) -> float:
         return self.total_old / self.total_new if self.total_new > 0 else 0.0
+
+    @property
+    def total_old_build(self) -> float:
+        return sum(diff.old_build for diff in self.diffs)
+
+    @property
+    def total_new_build(self) -> float:
+        return sum(diff.new_build for diff in self.diffs)
+
+    @property
+    def has_build_phase(self) -> bool:
+        """Whether either snapshot recorded a build phase (schema ≥ 2)."""
+
+        return any(diff.old_build or diff.new_build for diff in self.diffs)
+
+    @property
+    def suite_speedup(self) -> float:
+        """Combined build + sim speedup — the cost of running the suite."""
+
+        old = self.total_old + self.total_old_build
+        new = self.total_new + self.total_new_build
+        return old / new if new > 0 else 0.0
 
     @property
     def figure7_speedup(self) -> Optional[float]:
@@ -236,23 +300,44 @@ def run_benchmarks(
     repeats: int = 3,
     config: Optional[SystemConfig] = None,
     label: str = "",
+    trace_store=_DEFAULT_STORE,
 ) -> BenchSnapshot:
-    """Time ``simulate()`` for every available ``(workload, mode)`` point.
+    """Time every available ``(workload, mode)`` point, build and sim apart.
 
-    Workloads are built once, outside the timed region; every point is run
-    ``repeats`` times and the fastest run is recorded.  Unavailable modes
-    (e.g. software prefetching on PageRank) are skipped, mirroring the
-    figure drivers.
+    Each point's inputs are resolved through the trace-artifact tier
+    (:class:`~repro.trace_store.GroupResolver`) exactly the way the batch
+    engine resolves them: warm store → decode, miss → build + emit +
+    persist.  The *incremental* preparation cost lands in that record's
+    ``build_seconds`` (preparation is shared within a workload, so later
+    modes of the same workload pay ~nothing); ``wall_seconds`` then times
+    ``simulate()`` alone, ``repeats`` times with the fastest kept.
+    Unavailable modes (e.g. software prefetching on PageRank) are skipped,
+    mirroring the figure drivers.  ``trace_store`` defaults to the
+    environment-selected store; pass ``None`` to measure the tier-disabled
+    (always build) reality.
     """
 
     names = list(workloads) if workloads is not None else registry.paper_names()
     system_config = config if config is not None else SystemConfig.scaled()
     snapshot = BenchSnapshot(scale=scale, repeats=max(1, repeats), label=label)
+    store = default_trace_store() if trace_store is _DEFAULT_STORE else trace_store
 
     for name in names:
-        workload = build_workload(name, scale=scale, seed=seed)
+        resolver = GroupResolver(name, scale, seed, store=store)
         for mode in modes:
-            if not mode_available(workload, mode):
+            # Preparation phase: resolve the workload object and make sure
+            # the trace this mode replays is materialised (decoded from the
+            # store, or emitted and persisted), so the timed region below
+            # measures simulation only.
+            start = time.perf_counter()
+            workload = resolver.workload_for_mode(mode)
+            available = mode_available(workload, mode)
+            if available:
+                variant = variant_for_mode(mode)
+                workload.trace(variant)
+                resolver.persist([variant])
+            build_elapsed = time.perf_counter() - start
+            if not available:
                 continue
             best: Optional[float] = None
             result = None
@@ -271,6 +356,7 @@ def run_benchmarks(
                     ops=int(result.core.get("ops", 0)),
                     instructions=result.instructions,
                     cycles=result.cycles,
+                    build_seconds=build_elapsed,
                 )
             )
     return snapshot
@@ -361,6 +447,8 @@ def diff_snapshots(old: BenchSnapshot, new: BenchSnapshot) -> SnapshotDiff:
                 mode=record.mode,
                 old_wall=previous.wall_seconds,
                 new_wall=record.wall_seconds,
+                old_build=previous.build_seconds,
+                new_build=record.build_seconds,
             )
         )
     return diff
@@ -373,15 +461,20 @@ def format_snapshot(snapshot: BenchSnapshot) -> str:
         f"Perf snapshot: scale={snapshot.scale} repeats={snapshot.repeats} "
         f"python={snapshot.python}"
         + (f"  [{snapshot.label}]" if snapshot.label else ""),
-        f"{'workload':<12} {'mode':<10} {'wall (ms)':>10} {'ops':>9} {'ops/s':>12}",
+        f"{'workload':<12} {'mode':<10} {'build (ms)':>10} {'wall (ms)':>10} "
+        f"{'ops':>9} {'ops/s':>12}",
     ]
     for record in snapshot.records:
         lines.append(
             f"{record.workload:<12} {record.mode:<10} "
-            f"{record.wall_seconds * 1e3:>10.2f} {record.ops:>9} "
-            f"{record.ops_per_second:>12,.0f}"
+            f"{record.build_seconds * 1e3:>10.2f} {record.wall_seconds * 1e3:>10.2f} "
+            f"{record.ops:>9} {record.ops_per_second:>12,.0f}"
         )
-    lines.append(f"total wall: {snapshot.total_wall_seconds * 1e3:.1f} ms")
+    lines.append(
+        f"total wall: {snapshot.total_wall_seconds * 1e3:.1f} ms  "
+        f"(build {snapshot.total_build_seconds * 1e3:.1f} ms, "
+        f"suite {snapshot.suite_seconds * 1e3:.1f} ms)"
+    )
     return "\n".join(lines)
 
 
@@ -450,6 +543,16 @@ def format_diff(diff: SnapshotDiff) -> str:
         lines.append(
             f"mode {mode_diff.mode:<10} {mode_diff.old_wall * 1e3:>10.2f} ms → "
             f"{mode_diff.new_wall * 1e3:>8.2f} ms  ({mode_diff.speedup:.2f}×)"
+        )
+    if diff.has_build_phase:
+        # Which phase moved?  ``build`` is trace/workload preparation,
+        # ``sim`` is the simulate() hot path; ``suite`` combines them.
+        # (A 0.0 old build means the baseline predates the phase split.)
+        lines.append(
+            f"phase build: {diff.total_old_build * 1e3:>10.2f} ms → "
+            f"{diff.total_new_build * 1e3:>8.2f} ms   "
+            f"sim: {diff.total_old * 1e3:.2f} ms → {diff.total_new * 1e3:.2f} ms   "
+            f"suite: {diff.suite_speedup:.2f}×"
         )
     lines.append(
         f"total: {diff.total_old * 1e3:.1f} ms → {diff.total_new * 1e3:.1f} ms "

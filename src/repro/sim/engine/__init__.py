@@ -19,11 +19,20 @@ Quickstart::
     print(batch.stats)
 """
 
+from ...trace_store import TraceStore, TraceStoreStats, default_trace_store
 from .cache import UNAVAILABLE, ResultCache
 from .core import BatchResult, EngineStats, SimEngine
 from .plan import SimPlan
 from .request import POLICY_REGISTRY, SimRequest, resolve_policy
-from .runner import MultiprocessRunner, Runner, SerialRunner, group_requests
+from .runner import (
+    ExecutedRequest,
+    MultiprocessRunner,
+    Runner,
+    SerialRunner,
+    execute_group,
+    execute_request,
+    group_requests,
+)
 
 __all__ = [
     "SimRequest",
@@ -31,9 +40,15 @@ __all__ = [
     "Runner",
     "SerialRunner",
     "MultiprocessRunner",
+    "ExecutedRequest",
     "group_requests",
+    "execute_group",
+    "execute_request",
     "ResultCache",
     "UNAVAILABLE",
+    "TraceStore",
+    "TraceStoreStats",
+    "default_trace_store",
     "SimEngine",
     "BatchResult",
     "EngineStats",

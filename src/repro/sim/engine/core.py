@@ -34,6 +34,16 @@ class EngineStats:
     cache_hits: int = 0
     executed: int = 0
     unavailable: int = 0
+    #: Requests that errored (a :class:`~repro.errors.WorkloadError` that was
+    #: *not* mere mode unavailability).  Labelled in :attr:`failures`.
+    failed: int = 0
+    #: Failure label → occurrence count (``workload/mode: message``).
+    failures: dict[str, int] = field(default_factory=dict)
+    #: Trace-artifact tier counters: traces warmed from the store, traces
+    #: that had to be emitted, and freshly-persisted artifacts.
+    trace_hits: int = 0
+    trace_built: int = 0
+    trace_stored: int = 0
     runner: str = "serial"
 
     @property
@@ -50,15 +60,24 @@ class EngineStats:
         self.cache_hits += other.cache_hits
         self.executed += other.executed
         self.unavailable += other.unavailable
+        self.failed += other.failed
+        for label, count in other.failures.items():
+            self.failures[label] = self.failures.get(label, 0) + count
+        self.trace_hits += other.trace_hits
+        self.trace_built += other.trace_built
+        self.trace_stored += other.trace_stored
         self.runner = other.runner
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.submitted} submitted → {self.unique} unique "
             f"({self.deduplicated} deduplicated), {self.memo_hits} memo hits, "
             f"{self.cache_hits} cache hits, {self.executed} simulated "
-            f"({self.unavailable} unavailable) [{self.runner}]"
+            f"({self.unavailable} unavailable, {self.failed} failed) [{self.runner}]"
         )
+        if self.trace_hits or self.trace_built:
+            text += f"; traces: {self.trace_hits} warm, {self.trace_built} emitted"
+        return text
 
 
 @dataclass
@@ -67,6 +86,8 @@ class BatchResult:
 
     results: dict[str, SimulationResult] = field(default_factory=dict)
     skipped: set[str] = field(default_factory=set)
+    #: Failure text per failed request digest (subset of ``skipped``).
+    failures: dict[str, str] = field(default_factory=dict)
     stats: EngineStats = field(default_factory=EngineStats)
 
     def get(self, request: Union[SimRequest, str]) -> Optional[SimulationResult]:
@@ -137,21 +158,34 @@ class SimEngine:
                 batch.results[digest] = value
 
         by_digest = {request.digest: request for request in pending}
-        for digest, result in self.runner.run(pending):
+        for digest, result, failure in self.runner.run(pending):
             run_stats.executed += 1
             request = by_digest[digest]
             if result is None:
-                run_stats.unavailable += 1
                 batch.skipped.add(digest)
-                self._memo[digest] = UNAVAILABLE
-                if self.cache is not None:
-                    self.cache.put_unavailable(request)
+                if failure is not None:
+                    # A genuine failure: count and label it, but never
+                    # tombstone it — a later run should retry, and a
+                    # persistent cache must not remember transient errors.
+                    run_stats.failed += 1
+                    run_stats.failures[failure] = run_stats.failures.get(failure, 0) + 1
+                    batch.failures[digest] = failure
+                else:
+                    run_stats.unavailable += 1
+                    self._memo[digest] = UNAVAILABLE
+                    if self.cache is not None:
+                        self.cache.put_unavailable(request)
             else:
                 batch.results[digest] = result
                 self._memo[digest] = result
                 if self.cache is not None:
                     self.cache.put(request, result)
 
+        trace_stats = getattr(self.runner, "trace_stats", None)
+        if trace_stats is not None:
+            run_stats.trace_hits = trace_stats.hits
+            run_stats.trace_built = trace_stats.built
+            run_stats.trace_stored = trace_stats.stored
         self.stats.merge(run_stats)
         return batch
 

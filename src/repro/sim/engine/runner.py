@@ -1,15 +1,25 @@
 """Plan executors: serial, and multiprocessing across cores.
 
-Requests are grouped by :attr:`SimRequest.workload_key` so each group builds
-its workload (graph generation, trace emission — the expensive part) exactly
-once and reuses the traces for every mode simulated against it.  The serial
-and parallel runners execute the same per-request code path, so for a given
-request set they produce bit-identical results; the parallel runner merely
-farms chunks of those groups out to worker processes.
+Requests are grouped by :attr:`SimRequest.workload_key` so each group's
+expensive inputs — workload data structures and dynamic traces — are
+resolved exactly once.  Resolution goes through the **trace artifact tier**
+(:mod:`repro.trace_store`): each group's trace artifacts are looked up front
+in the digest-keyed on-disk store; warm artifacts replay directly (no
+workload rebuild at all for the non-programmable modes, traces injected
+instead of re-emitted for the programmable ones), and anything missing is
+built once, emitted, and persisted so the next run — or the next worker —
+starts warm.  The serial and parallel runners execute the same per-request
+code path, so for a given request set they produce bit-identical results;
+the parallel runner merely farms chunks of those groups out to worker
+processes, shipping each chunk the compact encoded trace columns it found
+warm instead of a rebuild recipe.
 
 A request whose mode cannot be built for its workload (the missing Figure 7
-bars, e.g. software prefetching on PageRank) executes to ``None`` rather than
-raising, mirroring the drivers' historical "skip the bar silently" behaviour.
+bars, e.g. software prefetching on PageRank) executes to ``None`` with no
+failure label, mirroring the drivers' historical "skip the bar" behaviour.
+Any *other* :class:`~repro.errors.WorkloadError` also executes to ``None``
+but carries a failure label, which the engine counts and surfaces — failed
+requests are no longer silently indistinguishable from unavailable ones.
 """
 
 from __future__ import annotations
@@ -21,14 +31,33 @@ from abc import ABC, abstractmethod
 from typing import Mapping, Optional, Sequence
 
 from ...errors import WorkloadError
-from ...workloads import build_workload
+from ...trace_store import (
+    GroupResolver,
+    TraceStore,
+    TraceStoreStats,
+    default_trace_store,
+    trace_digest,
+    validate_artifact_bytes,
+    variants_needed,
+)
 from ...workloads.base import Workload
+from ..modes import mode_available
 from ..results import SimulationResult
 from ..system import simulate
 from .request import SimRequest, resolve_policy
 
-#: One executed request: ``(digest, result)`` with ``None`` for unavailable modes.
-ExecutedRequest = tuple[str, Optional[SimulationResult]]
+#: One executed request: ``(digest, result, failure)``.  ``result`` is
+#: ``None`` both for unavailable modes (``failure is None``) and for genuine
+#: failures (``failure`` holds the error text).
+ExecutedRequest = tuple[str, Optional[SimulationResult], Optional[str]]
+
+#: Sentinel distinguishing "no store passed" (resolve from the environment)
+#: from an explicit ``trace_store=None`` (tier disabled).
+_DEFAULT_STORE = object()
+
+
+def _resolve_store(trace_store) -> Optional[TraceStore]:
+    return default_trace_store() if trace_store is _DEFAULT_STORE else trace_store
 
 
 def group_requests(requests: Sequence[SimRequest]) -> list[list[SimRequest]]:
@@ -40,48 +69,70 @@ def group_requests(requests: Sequence[SimRequest]) -> list[list[SimRequest]]:
     return list(groups.values())
 
 
-def execute_request(request: SimRequest, workload: Workload) -> Optional[SimulationResult]:
-    """Run one request against an already-built workload."""
+def execute_request(
+    request: SimRequest, workload: Workload
+) -> tuple[Optional[SimulationResult], Optional[str]]:
+    """Run one request against a resolved workload.
+
+    Returns ``(result, failure)``: a successful simulation carries no
+    failure text; an unavailable mode returns ``(None, None)``; any other
+    workload error returns ``(None, <message>)`` so the engine can count
+    and label it instead of dropping it on the floor.
+    """
 
     try:
-        return simulate(
+        result = simulate(
             workload,
             request.prefetch_mode,
             request.config,
             policy=resolve_policy(request.policy),
         )
-    except WorkloadError:
-        return None
+        return result, None
+    except WorkloadError as error:
+        try:
+            if not mode_available(workload, request.prefetch_mode):
+                return None, None
+        except WorkloadError:
+            pass  # availability itself failed: report the original error
+        return None, f"{request.workload}/{request.mode}: {error}"
 
 
 def execute_group(
     requests: Sequence[SimRequest],
     workloads: Optional[Mapping[str, Workload]] = None,
-) -> list[ExecutedRequest]:
-    """Execute requests in order, building each distinct workload once.
+    *,
+    store: Optional[TraceStore] = None,
+    encoded: Optional[Mapping[str, bytes]] = None,
+) -> tuple[list[ExecutedRequest], TraceStoreStats]:
+    """Execute one workload group, resolving its trace artifacts up front.
 
-    ``workloads`` may supply pre-built objects keyed by workload name; one is
-    used only when its scale and seed match the request, otherwise the
-    workload is rebuilt so results stay independent of what was passed in.
+    ``workloads`` may supply pre-built objects keyed by workload name; one
+    is used only when its scale and seed match the request, otherwise the
+    group resolves independently so results stay independent of what was
+    passed in.  ``encoded`` carries store-encoded trace columns a parent
+    process shipped (keyed by variant); ``store`` is consulted for anything
+    else and receives freshly-emitted traces.
     """
 
-    built: dict[tuple[str, str, int], Workload] = {}
     executed: list[ExecutedRequest] = []
-    for request in requests:
-        workload = built.get(request.workload_key)
-        if workload is None:
-            candidate = (workloads or {}).get(request.workload)
-            if (
-                candidate is not None
-                and candidate.scale.name == request.scale
-                and candidate.seed == request.seed
-            ):
-                workload = candidate
-            else:
-                workload = build_workload(request.workload, scale=request.scale, seed=request.seed)
-            built[request.workload_key] = workload
-        executed.append((request.digest, execute_request(request, workload)))
-    return executed
+    stats = TraceStoreStats()
+    for group in group_requests(requests):
+        first = group[0]
+        resolver = GroupResolver(
+            first.workload,
+            first.scale,
+            first.seed,
+            store=store,
+            prebuilt=(workloads or {}).get(first.workload),
+            encoded=encoded if first.workload_key == requests[0].workload_key else None,
+        )
+        for request in group:
+            workload = resolver.workload_for_mode(request.prefetch_mode)
+            result, failure = execute_request(request, workload)
+            executed.append((request.digest, result, failure))
+        resolver.persist(variants_needed([r.prefetch_mode for r in group]))
+        stats.merge(resolver.stats)
+    return executed, stats
 
 
 class Runner(ABC):
@@ -89,6 +140,12 @@ class Runner(ABC):
 
     #: Human-readable label recorded in engine statistics.
     label: str = "runner"
+
+    #: Trace-artifact resolution counters of the most recent :meth:`run`.
+    trace_stats: TraceStoreStats
+
+    def __init__(self) -> None:
+        self.trace_stats = TraceStoreStats()
 
     @abstractmethod
     def run(self, requests: Sequence[SimRequest]) -> list[ExecutedRequest]:
@@ -100,32 +157,51 @@ class SerialRunner(Runner):
 
     label = "serial"
 
-    def __init__(self, workloads: Optional[Mapping[str, Workload]] = None) -> None:
+    def __init__(
+        self,
+        workloads: Optional[Mapping[str, Workload]] = None,
+        *,
+        trace_store=_DEFAULT_STORE,
+    ) -> None:
+        super().__init__()
         self.workloads = workloads
+        self.trace_store = _resolve_store(trace_store)
 
     def run(self, requests: Sequence[SimRequest]) -> list[ExecutedRequest]:
+        self.trace_stats = TraceStoreStats()
         executed: list[ExecutedRequest] = []
         for group in group_requests(requests):
-            executed.extend(execute_group(group, self.workloads))
+            chunk, stats = execute_group(group, self.workloads, store=self.trace_store)
+            executed.extend(chunk)
+            self.trace_stats.merge(stats)
         return executed
 
 
-def _execute_group_task(requests: Sequence[SimRequest]) -> list[ExecutedRequest]:
+def _execute_group_task(
+    payload: tuple[Sequence[SimRequest], dict[str, bytes], Optional[str]]
+) -> tuple[list[ExecutedRequest], TraceStoreStats]:
     """Top-level worker entry point (must be picklable by name)."""
 
-    return execute_group(requests)
+    requests, encoded, store_dir = payload
+    store = TraceStore(store_dir) if store_dir else None
+    return execute_group(requests, store=store, encoded=encoded)
 
 
 class MultiprocessRunner(Runner):
     """Farm independent request chunks across a process pool.
 
-    Each worker builds its chunk's workload locally (traces never cross the
-    process boundary); only the compact request and result values are
-    pickled.  Workload groups that dominate the plan — a Figure 9(b) sweep
-    is dozens of points on one workload — are split into several chunks in
-    proportion to their share of the plan, trading a few redundant workload
-    builds for keeping every core busy.  Falls back to serial execution when
-    there is nothing to parallelise.
+    Each chunk ships with the compact encoded trace columns the parent
+    found warm in the store — workers decode a few flat arrays instead of
+    regenerating graphs and re-running emission loops.  On a store miss the
+    *worker* builds the workload locally, emits, and persists the artifact
+    (the store directory is shared on disk), so cold-store builds still
+    happen in parallel and every later run is warm.  Only compact values
+    cross the process boundary: requests, encoded columns, results.
+    Workload groups that dominate the plan — a Figure 9(b) sweep is dozens
+    of points on one workload — are split into several chunks in proportion
+    to their share of the plan, trading a few redundant artifact decodes
+    for keeping every core busy.  Falls back to serial execution when there
+    is nothing to parallelise.
     """
 
     label = "multiprocess"
@@ -135,13 +211,16 @@ class MultiprocessRunner(Runner):
         workers: Optional[int] = None,
         *,
         workloads: Optional[Mapping[str, Workload]] = None,
+        trace_store=_DEFAULT_STORE,
     ) -> None:
+        super().__init__()
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
             raise ValueError("MultiprocessRunner needs at least one worker")
         #: Pre-built workloads reused by the in-process (serial) fallback;
-        #: worker processes always build their own (traces don't pickle).
+        #: worker processes resolve through the trace store instead.
         self.workloads = workloads
+        self.trace_store = _resolve_store(trace_store)
 
     def _chunk(self, requests: Sequence[SimRequest]) -> list[list[SimRequest]]:
         total = len(requests)
@@ -152,17 +231,66 @@ class MultiprocessRunner(Runner):
             chunks.extend(group[start : start + size] for start in range(0, len(group), size))
         return chunks
 
+    def _group_artifacts(
+        self, requests: Sequence[SimRequest]
+    ) -> dict[tuple[str, str, int], dict[str, bytes]]:
+        """Read each group's warm artifacts from the store exactly once.
+
+        Every chunk of a split group shares the same bytes objects, and the
+        parent counts one store hit per (group, variant) here — workers
+        decoding their shipped copy do not count again, so engine stats
+        report warm traces, not warm decodes.
+        """
+
+        by_key: dict[tuple[str, str, int], dict[str, bytes]] = {}
+        if self.trace_store is None:
+            return by_key
+        for group in group_requests(requests):
+            first = group[0]
+            encoded: dict[str, bytes] = {}
+            for variant in variants_needed([r.prefetch_mode for r in group]):
+                data = self.trace_store.get_bytes(
+                    trace_digest(first.workload, variant, first.scale, first.seed)
+                )
+                # A corrupt entry is a miss here too — shipping it would
+                # count a warm trace that every worker then re-emits.
+                if data is not None and validate_artifact_bytes(data):
+                    encoded[variant] = data
+                    self.trace_stats.hits += 1
+            by_key[first.workload_key] = encoded
+        return by_key
+
     def run(self, requests: Sequence[SimRequest]) -> list[ExecutedRequest]:
         if not requests:
+            self.trace_stats = TraceStoreStats()
             return []
         chunks = self._chunk(requests)
         if self.workers == 1 or len(chunks) <= 1:
             # Nothing to parallelise: hand the whole request set to the
             # serial path, forwarding any pre-built workloads so the
             # fallback does not pay a redundant workload rebuild.
-            return SerialRunner(workloads=self.workloads).run(requests)
+            fallback = SerialRunner(workloads=self.workloads, trace_store=self.trace_store)
+            executed = fallback.run(requests)
+            self.trace_stats = fallback.trace_stats
+            return executed
+        self.trace_stats = TraceStoreStats()
+        # NOTE: ``is not None`` — TraceStore defines __len__, so an empty
+        # (cold) store is falsy and a bare truthiness test would silently
+        # disable worker-side persistence on exactly the runs that need it.
+        store_dir = (
+            str(self.trace_store.directory) if self.trace_store is not None else None
+        )
+        group_artifacts = self._group_artifacts(requests)
+        payloads = [
+            (chunk, group_artifacts.get(chunk[0].workload_key, {}), store_dir)
+            for chunk in chunks
+        ]
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
         with context.Pool(processes=min(self.workers, len(chunks))) as pool:
-            executed = pool.map(_execute_group_task, chunks)
-        return [item for chunk in executed for item in chunk]
+            outcomes = pool.map(_execute_group_task, payloads)
+        executed: list[ExecutedRequest] = []
+        for chunk_executed, chunk_stats in outcomes:
+            executed.extend(chunk_executed)
+            self.trace_stats.merge(chunk_stats)
+        return executed

@@ -32,6 +32,25 @@ class PrefetchMode(Enum):
         )
 
     @property
+    def trace_variant(self) -> str:
+        """The trace variant this mode replays (only ``software`` differs)."""
+
+        return "software" if self is PrefetchMode.SOFTWARE else "plain"
+
+    @property
+    def needs_workload_build(self) -> bool:
+        """Whether simulating this mode requires the real workload.
+
+        The programmable modes install kernel configurations built from the
+        workload's data structures and their PPUs read line *contents*, so a
+        stored trace artifact alone cannot drive them; every other mode can
+        replay from the artifact tier (:mod:`repro.trace_store`) without a
+        workload rebuild.
+        """
+
+        return self.uses_programmable_prefetcher
+
+    @property
     def label(self) -> str:
         """Label used in the figure legends (matches the paper's wording)."""
 

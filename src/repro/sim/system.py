@@ -68,7 +68,6 @@ def simulate(
     hierarchy = MemoryHierarchy(system_config, workload.space)
 
     engine: Optional[EventTriggeredPrefetcher] = None
-    trace_variant = "plain"
 
     if mode == PrefetchMode.STRIDE:
         StridePrefetcher(system_config.stride).attach(hierarchy)
@@ -77,7 +76,7 @@ def simulate(
     elif mode == PrefetchMode.GHB_LARGE:
         GHBPrefetcher(GHBPrefetcherConfig.large(), label="ghb-large").attach(hierarchy)
     elif mode == PrefetchMode.SOFTWARE:
-        trace_variant = "software"
+        pass  # the prefetches live in the trace variant selected below
     elif mode.uses_programmable_prefetcher:
         if mode == PrefetchMode.MANUAL_BLOCKED:
             system_config = system_config.with_prefetcher(blocking_mode=True)
@@ -85,7 +84,7 @@ def simulate(
         engine = EventTriggeredPrefetcher(system_config, configuration, policy=policy)
         engine.attach(hierarchy)
 
-    trace = workload.trace(trace_variant)
+    trace = workload.trace(mode.trace_variant)
     core = OutOfOrderCore(system_config.core, hierarchy)
     core_stats = core.run(trace)
 

@@ -1,0 +1,65 @@
+"""Trace artifacts: everything replay needs, detached from the workload.
+
+A :class:`TraceArtifact` captures one ``(workload, variant, scale, seed)``
+dynamic trace *plus* the minimal context required to re-run it without
+rebuilding the workload: the region table of the address space it was
+emitted against (so unmapped-prefetch drops reproduce exactly) and whether
+the workload supports the software-prefetch variant (so unavailability is
+knowable without a build).  Artifacts are what the on-disk
+:class:`~repro.trace_store.store.TraceStore` serialises and what the batch
+engine ships to multiprocess workers instead of workload rebuild recipes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..cpu.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One mapped allocation of the emitting address space."""
+
+    name: str
+    base: int
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class TraceArtifact:
+    """One stored dynamic trace and its replay context."""
+
+    workload: str
+    variant: str
+    scale: str
+    seed: int
+    supports_software: bool
+    regions: tuple[RegionSpec, ...]
+    trace: Trace
+
+    @classmethod
+    def from_workload(cls, workload: "Workload", variant: str) -> "TraceArtifact":
+        """Capture ``workload``'s trace for ``variant`` as an artifact.
+
+        The workload's (cached) trace is referenced, not copied — traces are
+        immutable after construction.
+        """
+
+        trace = workload.trace(variant)
+        return cls(
+            workload=workload.name,
+            variant=variant,
+            scale=workload.scale.name,
+            seed=workload.seed,
+            supports_software=workload.supports_software_prefetch(),
+            regions=tuple(
+                RegionSpec(name=region.name, base=region.base, size_bytes=region.size_bytes)
+                for region in workload.space.regions
+            ),
+            trace=trace,
+        )

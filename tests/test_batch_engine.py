@@ -131,7 +131,7 @@ class TestExecution:
             assert serial[request].as_dict() == parallel[request].as_dict()
 
     def test_single_chunk_fallback_reuses_prebuilt_workloads(self, config, monkeypatch):
-        from repro.sim.engine import runner as runner_module
+        from repro.trace_store import replay as replay_module
         from repro.workloads import build_workload
 
         prebuilt = {"intsort": build_workload("intsort", scale="tiny")}
@@ -139,14 +139,15 @@ class TestExecution:
         def _refuse_rebuild(name, **kwargs):
             raise AssertionError(f"workload {name!r} was rebuilt despite being pre-built")
 
-        monkeypatch.setattr(runner_module, "build_workload", _refuse_rebuild)
+        monkeypatch.setattr(replay_module, "build_workload", _refuse_rebuild)
         runner = MultiprocessRunner(workers=4, workloads=prebuilt)
         requests = [tiny_request("intsort", PrefetchMode.NONE, config)]
         assert len(runner._chunk(requests)) == 1  # forces the serial fallback
         executed = runner.run(requests)
         assert len(executed) == 1
-        digest, result = executed[0]
+        digest, result, failure = executed[0]
         assert digest == requests[0].digest
+        assert failure is None
         assert result is not None and result.cycles > 0
 
     def test_unavailable_mode_is_skipped_not_raised(self, config):

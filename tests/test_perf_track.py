@@ -168,6 +168,82 @@ class TestTrajectoryHelpers:
         assert diff.diffs[0].old_wall == first.records[0].wall_seconds
 
 
+class TestBuildPhase:
+    def _snapshot_with_build(self, points):
+        return BenchSnapshot(
+            scale="tiny",
+            repeats=1,
+            records=[
+                BenchRecord(
+                    workload=workload, mode=mode, wall_seconds=wall,
+                    ops=1000, instructions=2000, cycles=5000.0,
+                    build_seconds=build,
+                )
+                for (workload, mode), (wall, build) in points.items()
+            ],
+        )
+
+    def test_build_seconds_survives_json_and_defaults_to_zero(self, tmp_path):
+        snapshot = self._snapshot_with_build({("randacc", "manual"): (0.2, 0.05)})
+        path = tmp_path / "BENCH_0.json"
+        save_snapshot(snapshot, path)
+        loaded = load_snapshot(path)
+        assert loaded.records[0].build_seconds == pytest.approx(0.05)
+        assert loaded.total_build_seconds == pytest.approx(0.05)
+        assert loaded.suite_seconds == pytest.approx(0.25)
+        # Schema-1 records (no build_seconds key) load as 0.0.
+        legacy = BenchRecord.from_dict({
+            "workload": "a", "mode": "none", "wall_seconds": 0.1,
+            "ops": 1, "instructions": 1, "cycles": 1.0,
+        })
+        assert legacy.build_seconds == 0.0
+
+    def test_diff_reports_which_phase_moved(self):
+        old = self._snapshot_with_build({
+            ("randacc", "manual"): (0.20, 0.30), ("intsort", "none"): (0.10, 0.10),
+        })
+        new = self._snapshot_with_build({
+            ("randacc", "manual"): (0.20, 0.01), ("intsort", "none"): (0.10, 0.01),
+        })
+        diff = diff_snapshots(old, new)
+        assert diff.has_build_phase
+        assert diff.total_speedup == pytest.approx(1.0)  # sim did not move
+        assert diff.total_old_build == pytest.approx(0.40)
+        assert diff.total_new_build == pytest.approx(0.02)
+        assert diff.suite_speedup == pytest.approx(0.70 / 0.32)
+        rendered = format_diff(diff)
+        assert "phase build" in rendered
+        assert "suite" in rendered
+        # The gate's total line is untouched by the breakdown.
+        assert "total: 300.0 ms → 300.0 ms" in rendered
+
+    def test_breakdown_absent_for_legacy_snapshots(self):
+        old = _snapshot({("intsort", "none"): 0.1})
+        new = _snapshot({("intsort", "none"): 0.1})
+        diff = diff_snapshots(old, new)
+        assert not diff.has_build_phase
+        assert "phase build" not in format_diff(diff)
+
+    def test_run_benchmarks_measures_build_through_the_store(self, tmp_path):
+        from repro.trace_store import TraceStore
+
+        store = TraceStore(tmp_path / "store")
+        cold = run_benchmarks(
+            workloads=["intsort"], modes=[PrefetchMode.NONE, PrefetchMode.MANUAL],
+            scale="tiny", repeats=1, trace_store=store,
+        )
+        assert len(store) == 1  # the plain trace was emitted once and persisted
+        assert all(record.build_seconds >= 0 for record in cold.records)
+        assert cold.records[0].build_seconds > 0  # first mode pays the build
+        warm = run_benchmarks(
+            workloads=["intsort"], modes=[PrefetchMode.NONE, PrefetchMode.MANUAL],
+            scale="tiny", repeats=1, trace_store=TraceStore(tmp_path / "store"),
+        )
+        assert len(store) == 1
+        assert [r.cycles for r in warm.records] == [r.cycles for r in cold.records]
+        assert "build (ms)" in format_snapshot(warm)
+
+
 class TestRunBenchmarks:
     def test_records_real_measurements(self):
         snapshot = run_benchmarks(

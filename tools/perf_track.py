@@ -45,6 +45,7 @@ from repro.perf import (  # noqa: E402
     save_snapshot,
 )
 from repro.sim.modes import PrefetchMode  # noqa: E402
+from repro.trace_store import trace_store_from_spec  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -64,6 +65,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dir", default=str(_REPO_ROOT), metavar="DIR",
                         help="trajectory directory holding BENCH_<n>.json (default: repo root)")
     parser.add_argument("--label", default="", help="free-form note stored in the snapshot")
+    parser.add_argument("--trace-store", default=None, metavar="DIR|off",
+                        help="trace-artifact store for the build phase: a directory, "
+                             "'off' to disable, or unset for $REPRO_TRACE_STORE / the "
+                             "per-user default (build_seconds then measures warm-store "
+                             "decode instead of workload build + emission)")
     parser.add_argument("--against", default=None, metavar="PATH",
                         help="snapshot to diff against (default: latest BENCH_<n>.json)")
     parser.add_argument("--no-write", action="store_true",
@@ -91,6 +97,8 @@ def main(argv: list[str] | None = None) -> int:
     kwargs = {}
     if modes is not None:
         kwargs["modes"] = modes
+    if args.trace_store is not None:
+        kwargs["trace_store"] = trace_store_from_spec(args.trace_store)
     snapshot = run_benchmarks(
         workloads=workloads,
         scale=args.scale,

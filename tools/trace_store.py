@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Maintenance CLI for the on-disk trace-artifact store.
+
+The trace store (`docs/trace_store.md`) accumulates one compact binary file
+per ``(workload, variant, scale, seed)`` trace, keyed by content digest.
+Entries are invalidated implicitly — a source or format change produces new
+digests and the old files simply stop being read — so the store only ever
+grows.  This tool provides the hygiene commands (mirroring the ResultCache
+conventions):
+
+    # What is in the store?
+    python tools/trace_store.py ls
+    python tools/trace_store.py stat
+
+    # Drop entries not touched in the last 30 days (stale digests)
+    python tools/trace_store.py prune --older-than 30
+
+    # Start over
+    python tools/trace_store.py clear
+
+All commands accept ``--dir`` to operate on an explicit store directory;
+the default follows ``REPRO_TRACE_STORE`` and the per-user cache location,
+exactly like the simulator itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.trace_store import (  # noqa: E402
+    TraceStore,
+    default_trace_store_dir,
+)
+
+
+def _open_store(args: argparse.Namespace) -> TraceStore | None:
+    directory = Path(args.dir) if args.dir else default_trace_store_dir()
+    if directory is None:
+        print("trace store is disabled (REPRO_TRACE_STORE=off); pass --dir to "
+              "operate on an explicit directory", file=sys.stderr)
+        return None
+    return TraceStore(directory)
+
+
+def _format_size(size: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{size} B"
+        size /= 1024
+    return f"{size:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def cmd_ls(store: TraceStore) -> int:
+    entries = store.entries(with_headers=True)
+    if not entries:
+        print(f"{store.directory}: empty")
+        return 0
+    print(f"{'digest':<16} {'workload':<12} {'variant':<9} {'scale':<8} "
+          f"{'seed':>6} {'ops':>10} {'size':>10}  age")
+    now = time.time()
+    for entry in entries:
+        header = entry.header or {}
+        age_days = (now - entry.mtime) / 86400
+        print(
+            f"{entry.digest[:16]:<16} "
+            f"{str(header.get('workload', '<unreadable>')):<12} "
+            f"{str(header.get('variant', '-')):<9} "
+            f"{str(header.get('scale', '-')):<8} "
+            f"{str(header.get('seed', '-')):>6} "
+            f"{str(header.get('ops', '-')):>10} "
+            f"{_format_size(entry.size_bytes):>10}  {age_days:.1f}d"
+        )
+    return 0
+
+
+def cmd_stat(store: TraceStore) -> int:
+    stats = store.stat()
+    print(f"directory:    {stats['directory']}")
+    print(f"entries:      {stats['entries']} ({stats['unreadable']} unreadable)")
+    print(f"total size:   {_format_size(int(stats['total_bytes']))}")
+    per_workload = stats["per_workload"]
+    if per_workload:
+        print("per workload:")
+        for name, count in per_workload.items():
+            print(f"  {name:<14} {count}")
+    return 0
+
+
+def cmd_prune(store: TraceStore, older_than_days: float, dry_run: bool) -> int:
+    cutoff_seconds = older_than_days * 86400
+    if dry_run:
+        now = time.time()
+        doomed = [e for e in store.entries() if e.mtime < now - cutoff_seconds]
+        print(f"would remove {len(doomed)} entr{'y' if len(doomed) == 1 else 'ies'} "
+              f"older than {older_than_days:g} days")
+        return 0
+    removed = store.prune(older_than_seconds=cutoff_seconds)
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+          f"older than {older_than_days:g} days")
+    return 0
+
+
+def cmd_clear(store: TraceStore) -> int:
+    print(f"removed {store.clear()} entries from {store.directory}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--dir", default=None, metavar="DIR",
+                        help="store directory (default: $REPRO_TRACE_STORE or the "
+                             "per-user cache directory)")
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("ls", help="list every stored artifact")
+    commands.add_parser("stat", help="aggregate store statistics")
+    prune = commands.add_parser("prune", help="remove entries older than a window")
+    prune.add_argument("--older-than", type=float, required=True, metavar="DAYS",
+                       help="remove entries not modified in the last DAYS days")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="report what would be removed without deleting")
+    commands.add_parser("clear", help="remove every stored artifact")
+    args = parser.parse_args(argv)
+
+    store = _open_store(args)
+    if store is None:
+        return 1
+    if args.command == "ls":
+        return cmd_ls(store)
+    if args.command == "stat":
+        return cmd_stat(store)
+    if args.command == "prune":
+        return cmd_prune(store, args.older_than, args.dry_run)
+    return cmd_clear(store)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
