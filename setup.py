@@ -1,11 +1,32 @@
 """Setuptools entry point.
 
-The project is fully described by ``pyproject.toml``; this shim exists so that
-``pip install -e .`` also works on environments whose pip/setuptools cannot
-perform PEP 660 editable installs (e.g. offline machines without the ``wheel``
-package, where pip falls back to the legacy ``setup.py develop`` path).
+Kept as an explicit ``setup()`` call so that ``pip install -e .`` works even
+on environments whose pip/setuptools cannot perform PEP 660 editable installs
+(e.g. offline machines without the ``wheel`` package, where pip falls back to
+the legacy ``setup.py develop`` path).
+
+The simulator itself is dependency-free pure Python.  The ``vector`` extra
+pulls in numpy for the vectorized replay backend (see
+``docs/performance.md``); without it every simulation transparently runs on
+the interpreter backend with identical results.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-programmable-prefetcher",
+    version="0.6.0",
+    description=(
+        "Software reproduction of an event-triggered programmable prefetcher "
+        "with a cycle-approximate cache and out-of-order core model"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[],
+    extras_require={
+        # Optional acceleration tier; results are bit-identical without it.
+        "vector": ["numpy>=1.22"],
+        "test": ["pytest", "hypothesis", "numpy>=1.22"],
+    },
+)

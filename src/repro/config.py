@@ -22,7 +22,7 @@ multipliers here so the rest of the code never deals with wall-clock units.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Optional
 
 from .errors import ConfigurationError
 
@@ -300,5 +300,26 @@ class SystemConfig:
         """Return a copy with main-core fields replaced."""
 
         new = replace(self, core=replace(self.core, **overrides))
+        new.validate()
+        return new
+
+    def with_caches(
+        self, *, l1: Optional[dict[str, Any]] = None, l2: Optional[dict[str, Any]] = None
+    ) -> "SystemConfig":
+        """Return a copy with L1 and/or L2 cache fields replaced.
+
+        The mutator behind cache-geometry sweeps: configurations that differ
+        only through ``with_caches`` share everything the vector backend
+        needs to batch them into one trace pass
+        (:func:`repro.sim.simulate_batch`).
+
+        >>> half = SystemConfig.scaled().with_caches(l1={"size_bytes": 8 * 1024})
+        """
+
+        new = replace(
+            self,
+            l1=replace(self.l1, **l1) if l1 else self.l1,
+            l2=replace(self.l2, **l2) if l2 else self.l2,
+        )
         new.validate()
         return new

@@ -65,6 +65,17 @@ class SimulationError(ReproError):
     """The simulation reached an inconsistent state."""
 
 
+class VectorBackendUnsupported(SimulationError):
+    """The vectorized replay backend cannot drive this request.
+
+    Raised internally by :mod:`repro.sim.vector` when a trace, hierarchy or
+    configuration falls outside what the numpy-backed replay supports (no
+    numpy, programmable prefetcher hooks, non-power-of-two line sizes,
+    mismatched lane configurations, ...).  Callers catch it and fall back to
+    the interpreter path — it never escapes :func:`repro.sim.system.simulate`.
+    """
+
+
 class DuplicateResultError(ReproError):
     """Two simulation results were recorded for the same (workload, mode) key.
 

@@ -44,6 +44,10 @@ class EngineStats:
     trace_hits: int = 0
     trace_built: int = 0
     trace_stored: int = 0
+    #: Requests satisfied by multi-configuration vector batches — several
+    #: cache geometries replayed over one pass of a shared trace — rather
+    #: than by individual simulations.
+    batched: int = 0
     runner: str = "serial"
 
     @property
@@ -66,6 +70,7 @@ class EngineStats:
         self.trace_hits += other.trace_hits
         self.trace_built += other.trace_built
         self.trace_stored += other.trace_stored
+        self.batched += other.batched
         self.runner = other.runner
 
     def summary(self) -> str:
@@ -77,6 +82,8 @@ class EngineStats:
         )
         if self.trace_hits or self.trace_built:
             text += f"; traces: {self.trace_hits} warm, {self.trace_built} emitted"
+        if self.batched:
+            text += f"; {self.batched} vector-batched"
         return text
 
 
@@ -186,6 +193,7 @@ class SimEngine:
             run_stats.trace_hits = trace_stats.hits
             run_stats.trace_built = trace_stats.built
             run_stats.trace_stored = trace_stats.stored
+        run_stats.batched = getattr(self.runner, "batched", 0)
         self.stats.merge(run_stats)
         return batch
 

@@ -28,7 +28,12 @@ import math
 import multiprocessing
 import os
 from abc import ABC, abstractmethod
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence, Union
+
+try:  # POSIX shared memory; absent on some minimal platforms.
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exercised via monkeypatched tests
+    _shared_memory = None
 
 from ...errors import WorkloadError
 from ...trace_store import (
@@ -43,13 +48,20 @@ from ...trace_store import (
 from ...workloads.base import Workload
 from ..modes import mode_available
 from ..results import SimulationResult
-from ..system import simulate
+from ..system import simulate, try_simulate_batch_vector
+from ..vector import vector_backend_enabled
 from .request import SimRequest, resolve_policy
 
 #: One executed request: ``(digest, result, failure)``.  ``result`` is
 #: ``None`` both for unavailable modes (``failure is None``) and for genuine
 #: failures (``failure`` holds the error text).
 ExecutedRequest = tuple[str, Optional[SimulationResult], Optional[str]]
+
+#: One encoded trace column set as shipped to a worker: either the raw
+#: bytes pickled inline (``("bytes", data)``) or the name and size of a
+#: shared-memory segment holding them (``("shm", name, size)``), which every
+#: worker attaches zero-copy instead of receiving its own pickled copy.
+EncodedRef = Union[tuple[str, bytes], tuple[str, str, int]]
 
 #: Sentinel distinguishing "no store passed" (resolve from the environment)
 #: from an explicit ``trace_store=None`` (tier disabled).
@@ -97,13 +109,56 @@ def execute_request(
         return None, f"{request.workload}/{request.mode}: {error}"
 
 
+def _execute_vector_batches(
+    requests: Sequence[SimRequest], resolver: GroupResolver
+) -> dict[int, ExecutedRequest]:
+    """Pre-execute the multi-configuration vector batches of one group.
+
+    Requests of one workload group that differ only in system configuration
+    (same mode, same policy, non-programmable) are exactly what
+    :func:`~repro.sim.system.try_simulate_batch_vector` consumes: a Figure
+    9-style geometry sweep submitted as N engine requests becomes one trace
+    pass with N replay lanes.  Returns completed results keyed by position
+    in ``requests``; anything not covered — single-request modes, batches
+    the backend declined, resolution failures — falls through untouched to
+    the per-request path, which also owns failure labelling.
+    """
+
+    prebatched: dict[int, ExecutedRequest] = {}
+    if not vector_backend_enabled():
+        return prebatched
+    batches: dict[tuple[str, Optional[str]], list[int]] = {}
+    for index, request in enumerate(requests):
+        if not request.prefetch_mode.uses_programmable_prefetcher:
+            batches.setdefault((request.mode, request.policy), []).append(index)
+    for (_mode_value, policy_name), indices in batches.items():
+        if len(indices) < 2:
+            continue
+        mode = requests[indices[0]].prefetch_mode
+        try:
+            workload = resolver.workload_for_mode(mode)
+            results = try_simulate_batch_vector(
+                workload,
+                mode,
+                [requests[index].config for index in indices],
+                policy=resolve_policy(policy_name),
+            )
+        except WorkloadError:
+            continue  # per-request execution reports the proper label
+        if results is None:
+            continue
+        for index, result in zip(indices, results):
+            prebatched[index] = (requests[index].digest, result, None)
+    return prebatched
+
+
 def execute_group(
     requests: Sequence[SimRequest],
     workloads: Optional[Mapping[str, Workload]] = None,
     *,
     store: Optional[TraceStore] = None,
     encoded: Optional[Mapping[str, bytes]] = None,
-) -> tuple[list[ExecutedRequest], TraceStoreStats]:
+) -> tuple[list[ExecutedRequest], TraceStoreStats, int]:
     """Execute one workload group, resolving its trace artifacts up front.
 
     ``workloads`` may supply pre-built objects keyed by workload name; one
@@ -112,10 +167,15 @@ def execute_group(
     passed in.  ``encoded`` carries store-encoded trace columns a parent
     process shipped (keyed by variant); ``store`` is consulted for anything
     else and receives freshly-emitted traces.
+
+    Returns the executed requests in submission order, the trace-tier
+    counters, and how many requests were satisfied by multi-configuration
+    vector batches rather than individual simulations.
     """
 
     executed: list[ExecutedRequest] = []
     stats = TraceStoreStats()
+    batched = 0
     for group in group_requests(requests):
         first = group[0]
         resolver = GroupResolver(
@@ -126,13 +186,17 @@ def execute_group(
             prebuilt=(workloads or {}).get(first.workload),
             encoded=encoded if first.workload_key == requests[0].workload_key else None,
         )
-        for request in group:
-            workload = resolver.workload_for_mode(request.prefetch_mode)
-            result, failure = execute_request(request, workload)
-            executed.append((request.digest, result, failure))
+        prebatched = _execute_vector_batches(group, resolver)
+        batched += len(prebatched)
+        for index, request in enumerate(group):
+            done = prebatched.get(index)
+            if done is None:
+                workload = resolver.workload_for_mode(request.prefetch_mode)
+                done = (request.digest, *execute_request(request, workload))
+            executed.append(done)
         resolver.persist(variants_needed([r.prefetch_mode for r in group]))
         stats.merge(resolver.stats)
-    return executed, stats
+    return executed, stats, batched
 
 
 class Runner(ABC):
@@ -144,8 +208,13 @@ class Runner(ABC):
     #: Trace-artifact resolution counters of the most recent :meth:`run`.
     trace_stats: TraceStoreStats
 
+    #: Requests of the most recent :meth:`run` satisfied by multi-config
+    #: vector batches (see :func:`execute_group`).
+    batched: int
+
     def __init__(self) -> None:
         self.trace_stats = TraceStoreStats()
+        self.batched = 0
 
     @abstractmethod
     def run(self, requests: Sequence[SimRequest]) -> list[ExecutedRequest]:
@@ -169,22 +238,105 @@ class SerialRunner(Runner):
 
     def run(self, requests: Sequence[SimRequest]) -> list[ExecutedRequest]:
         self.trace_stats = TraceStoreStats()
+        self.batched = 0
         executed: list[ExecutedRequest] = []
         for group in group_requests(requests):
-            chunk, stats = execute_group(group, self.workloads, store=self.trace_store)
+            chunk, stats, batched = execute_group(
+                group, self.workloads, store=self.trace_store
+            )
             executed.extend(chunk)
             self.trace_stats.merge(stats)
+            self.batched += batched
         return executed
 
 
+def _share_artifacts(
+    group_artifacts: Mapping[tuple[str, str, int], Mapping[str, bytes]]
+) -> tuple[dict[tuple[str, str, int], dict[str, EncodedRef]], list]:
+    """Stage warm artifact bytes for shipping to worker processes.
+
+    Each artifact's bytes are copied once into a shared-memory segment and
+    every chunk payload carries only its ``("shm", name, size)`` reference —
+    a group split across K workers costs one resident copy, not K pickled
+    ones.  When shared memory is unavailable (platform without it, creation
+    failure) the bytes ship pickled inline as before.  Returns the
+    per-group reference mappings and the created segments, which the caller
+    must close and unlink once the pool has drained.
+    """
+
+    refs_by_key: dict[tuple[str, str, int], dict[str, EncodedRef]] = {}
+    segments: list = []
+    for key, encoded in group_artifacts.items():
+        refs: dict[str, EncodedRef] = {}
+        for variant, data in encoded.items():
+            ref: EncodedRef = ("bytes", data)
+            if _shared_memory is not None and data:
+                try:
+                    segment = _shared_memory.SharedMemory(create=True, size=len(data))
+                except (OSError, ValueError):
+                    pass  # no room / no support: pickle the bytes instead
+                else:
+                    segment.buf[: len(data)] = data
+                    segments.append(segment)
+                    ref = ("shm", segment.name, len(data))
+            refs[variant] = ref
+        refs_by_key[key] = refs
+    return refs_by_key, segments
+
+
+def _attach_encoded(
+    refs: Mapping[str, EncodedRef]
+) -> tuple[dict[str, object], list]:
+    """Materialise shipped encoded-column references in a worker.
+
+    ``("bytes", ...)`` entries pass through; ``("shm", name, size)`` entries
+    attach the named shared-memory segment and expose it as a zero-copy
+    ``memoryview`` (the buffer-friendly ``decode_artifact`` consumes it
+    directly).  A segment that cannot be attached is simply dropped — the
+    worker then resolves that variant through the store or a rebuild, the
+    same degradation as a corrupt shipped blob.  Returns the encoded mapping
+    plus the resources to release once the group has executed.
+    """
+
+    encoded: dict[str, object] = {}
+    attached: list = []
+    for variant, ref in refs.items():
+        if ref[0] == "shm":
+            try:
+                segment = _shared_memory.SharedMemory(name=ref[1])
+            except (OSError, ValueError):
+                continue
+            # NOTE: attaching re-registers the name with the resource
+            # tracker, but pool workers share the parent's tracker process,
+            # so the duplicate registration is a set no-op — the single
+            # entry is retired by the parent's unlink.  Do NOT unregister
+            # here: that would remove the parent's entry instead.
+            view = memoryview(segment.buf)[: ref[2]]
+            attached.append((view, segment))
+            encoded[variant] = view
+        else:
+            encoded[variant] = ref[1]
+    return encoded, attached
+
+
 def _execute_group_task(
-    payload: tuple[Sequence[SimRequest], dict[str, bytes], Optional[str]]
-) -> tuple[list[ExecutedRequest], TraceStoreStats]:
+    payload: tuple[Sequence[SimRequest], Mapping[str, EncodedRef], Optional[str]]
+) -> tuple[list[ExecutedRequest], TraceStoreStats, int]:
     """Top-level worker entry point (must be picklable by name)."""
 
-    requests, encoded, store_dir = payload
+    requests, refs, store_dir = payload
     store = TraceStore(store_dir) if store_dir else None
-    return execute_group(requests, store=store, encoded=encoded)
+    encoded, attached = _attach_encoded(refs)
+    try:
+        return execute_group(requests, store=store, encoded=encoded)
+    finally:
+        encoded.clear()
+        for view, segment in attached:
+            try:
+                view.release()
+                segment.close()
+            except BufferError:  # pragma: no cover - a dangling export
+                pass  # the mapping is freed with the worker process instead
 
 
 class MultiprocessRunner(Runner):
@@ -192,7 +344,10 @@ class MultiprocessRunner(Runner):
 
     Each chunk ships with the compact encoded trace columns the parent
     found warm in the store — workers decode a few flat arrays instead of
-    regenerating graphs and re-running emission loops.  On a store miss the
+    regenerating graphs and re-running emission loops.  The bytes travel
+    through ``multiprocessing.shared_memory`` when available: one resident
+    copy per artifact, attached zero-copy by every worker, instead of one
+    pickled copy per chunk (see :func:`_share_artifacts`).  On a store miss the
     *worker* builds the workload locally, emits, and persists the artifact
     (the store directory is shared on disk), so cold-store builds still
     happen in parallel and every later run is warm.  Only compact values
@@ -272,25 +427,33 @@ class MultiprocessRunner(Runner):
             fallback = SerialRunner(workloads=self.workloads, trace_store=self.trace_store)
             executed = fallback.run(requests)
             self.trace_stats = fallback.trace_stats
+            self.batched = fallback.batched
             return executed
         self.trace_stats = TraceStoreStats()
+        self.batched = 0
         # NOTE: ``is not None`` — TraceStore defines __len__, so an empty
         # (cold) store is falsy and a bare truthiness test would silently
         # disable worker-side persistence on exactly the runs that need it.
         store_dir = (
             str(self.trace_store.directory) if self.trace_store is not None else None
         )
-        group_artifacts = self._group_artifacts(requests)
+        group_refs, segments = _share_artifacts(self._group_artifacts(requests))
         payloads = [
-            (chunk, group_artifacts.get(chunk[0].workload_key, {}), store_dir)
+            (chunk, group_refs.get(chunk[0].workload_key, {}), store_dir)
             for chunk in chunks
         ]
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-        with context.Pool(processes=min(self.workers, len(chunks))) as pool:
-            outcomes = pool.map(_execute_group_task, payloads)
+        try:
+            with context.Pool(processes=min(self.workers, len(chunks))) as pool:
+                outcomes = pool.map(_execute_group_task, payloads)
+        finally:
+            for segment in segments:
+                segment.close()
+                segment.unlink()
         executed: list[ExecutedRequest] = []
-        for chunk_executed, chunk_stats in outcomes:
+        for chunk_executed, chunk_stats, chunk_batched in outcomes:
             executed.extend(chunk_executed)
             self.trace_stats.merge(chunk_stats)
+            self.batched += chunk_batched
         return executed

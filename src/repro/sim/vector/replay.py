@@ -1,0 +1,799 @@
+"""Fused, bit-identical replay over precomputed trace columns.
+
+:func:`replay_trace` (one hierarchy) and :func:`replay_trace_batch` (N
+hierarchies, one pass) are drop-in replacements for
+:meth:`repro.cpu.core.OutOfOrderCore.run` on the non-programmable prefetch
+modes.  All per-op *pure* arithmetic — set/tag extraction, page numbers,
+front-end fetch increments, dependence spans — comes precomputed per chunk
+from :class:`~repro.sim.vector.columns.TraceColumnPlan`; what remains here is
+the inherently sequential state machine: the ROB/LQ window, the dependence
+walk, and the cache/MSHR/TLB/DRAM bookkeeping.
+
+That state machine is *generated*, not handwritten: following the kernel
+compiler's idiom (:mod:`repro.programmable.compiler`), :func:`_chunk_source`
+emits one specialized replay loop per (core config, cache geometry, DRAM
+shape, prefetcher attachment) signature, with every configuration constant
+baked in as a literal and the L1/L2 probe, MSHR allocate, DRAM channel pick
+and cache fill all inlined into a single function body.  The source
+transcribes the interpreter's arithmetic *exactly* (same operations, same
+order, same float expressions), which is what the golden-stats gate demands;
+``exec`` of the compiled source is cached per signature, so a sweep over N
+workloads pays the (millisecond) compile once.
+
+Three safety invariants make the specialization a replay of the interpreter
+rather than a fork of the timing model:
+
+* **Shared state, not copies.**  The loop mutates the hierarchy's own cache
+  sets, MSHR heaps, TLB dicts and DRAM channels.  Prefetchers attached via
+  the demand snoop (stride, GHB) and software-prefetch ops still go through
+  ``MemoryHierarchy.prefetch_access``, so their mutations interleave with
+  the fused loop exactly as they do with the interpreter.
+* **Only exact arithmetic is reordered.**  Integer counters accumulate in
+  loop locals and fold into the shared stats once at the end (integer
+  addition commutes exactly); DRAM busy cycles are a multiple of the line
+  service time and stay exact in float64, so they fold too.  Genuinely
+  order-dependent float state (MSHR stall cycles) is kept in locals only in
+  the *pure* variant — no snoop, no software prefetches — where this loop
+  is provably the sole writer, and is updated through the shared objects in
+  the general variant.
+* **Write-only bookkeeping is elided.**  ``CacheLine.lru_stamp`` and
+  ``Cache._lru_counter`` are written by the interpreter but never read —
+  replacement order lives in each set dict's insertion order — so the
+  generated loop skips them; no statistic (and therefore no golden
+  fingerprint) observes the difference.
+* **Dead code is dropped only under a checked invariant.**  The
+  interpreter's ``previous_issue`` term never exceeds ``fetch_clock`` when
+  per-op instruction counts are non-negative (the column plan verifies
+  this); the TLB fast path reuses the previous op's page only while nothing
+  else can have touched TLB recency order (reset after every snoop or
+  software prefetch).
+
+Anything this module cannot replay bit-identically — programmable-prefetcher
+hooks, non-power-of-two line sizes, lanes that disagree on line or page
+geometry — raises :class:`~repro.errors.VectorBackendUnsupported` *before*
+touching any hierarchy state, so callers can fall back to the interpreter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Callable, Sequence
+
+from ...config import CoreConfig
+from ...cpu.core import CoreStats
+from ...cpu.trace import OpKind, Trace
+from ...errors import VectorBackendUnsupported
+from ...memory.cache import CacheLine
+from ...memory.hierarchy import MemoryHierarchy
+from .columns import CHUNK_OPS, TraceColumnPlan
+
+_KIND_COMPUTE = int(OpKind.COMPUTE)
+_KIND_LOAD = int(OpKind.LOAD)
+_KIND_STORE = int(OpKind.STORE)
+_KIND_SWPF = int(OpKind.SOFTWARE_PREFETCH)
+_KIND_BRANCH = int(OpKind.BRANCH)
+
+#: Integer counters accumulated in loop locals and folded once per run.
+#: Order in this tuple is the order of the generated prologue/epilogue.
+_INT_COUNTERS = (
+    "tlb_accesses", "tlb_l1_hits",
+    "l1_read_accesses", "l1_read_hits", "l1_write_accesses", "l1_write_hits",
+    "l1_inflight_merges", "l1_misses", "l1_prefetch_used",
+    "l1_evictions", "l1_dirty_evictions", "l1_prefetch_evicted_unused",
+    "l1_allocations",
+    "l2_read_accesses", "l2_read_hits", "l2_inflight_merges", "l2_misses",
+    "l2_prefetch_used", "l2_evictions", "l2_dirty_evictions",
+    "l2_prefetch_evicted_unused", "l2_allocations",
+    "dram_demand", "dram_writebacks",
+)
+
+
+def _check_lane_supported(hierarchy: MemoryHierarchy, line_shift: int, page_bytes: int) -> None:
+    """Reject configurations the specialized loop cannot replay bit-identically."""
+
+    if hierarchy._advance_hook is not None:
+        raise VectorBackendUnsupported(
+            "an advance hook is installed (programmable prefetcher attached)"
+        )
+    l1_shift = hierarchy.l1._line_shift
+    l2_shift = hierarchy.l2._line_shift
+    if l1_shift is None or l2_shift is None:
+        raise VectorBackendUnsupported("non-power-of-two cache line size")
+    if l1_shift != line_shift or l2_shift != line_shift:
+        raise VectorBackendUnsupported("lanes disagree on cache line size")
+    if hierarchy.tlb._page_bytes != page_bytes:
+        raise VectorBackendUnsupported("lanes disagree on TLB page size")
+
+
+def _mispredict_every(core_config: CoreConfig) -> int:
+    """The interpreter's deterministic mispredict period (0 = never)."""
+
+    if core_config.branch_mispredict_rate > 0:
+        return int(round(1.0 / core_config.branch_mispredict_rate))
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Source generation
+# --------------------------------------------------------------------------
+
+#: Compiled chunk-replay functions, keyed by the full specialization tuple.
+_COMPILED: dict[tuple, Callable] = {}
+
+
+def _tlb_block(load_time: str) -> str:
+    """The inlined TLB access shared by the load and store paths (indent 3).
+
+    A TLB L1 hit has translation latency 0.0, and ``t + 0.0 == t`` bitwise
+    for the non-negative floats the model produces, so both hit paths skip
+    the addition the interpreter performs.  ``last_page`` short-circuits the
+    recency update: when the page matches the previous access it is already
+    the MRU tail, so the interpreter's delete/re-insert is a dict no-op.
+    """
+
+    return f"""\
+            tlb_accesses += 1
+            if page == last_page:
+                tlb_l1_hits += 1
+                t = {load_time}
+            elif page in tlb_l1:
+                del tlb_l1[page]
+                tlb_l1[page] = None
+                tlb_l1_hits += 1
+                last_page = page
+                t = {load_time}
+            else:
+                t = {load_time} + tlb_miss(page)
+                last_page = page"""
+
+
+def _chunk_source(
+    rob: int,
+    lq: int,
+    alu: int,
+    penalty: int,
+    every: int,
+    l1_hit: int,
+    l1_cap: int,
+    l1_assoc: int,
+    l1_shift: int,
+    l2_hit: int,
+    l2_cap: int,
+    l2_assoc: int,
+    l2_mask: int,
+    l2_shift: int,
+    dram_lat: int,
+    svc: int,
+    channels: int,
+    has_snoop: bool,
+    shared: bool,
+) -> str:
+    """Emit the specialized chunk-replay function for one signature.
+
+    Every statement mirrors a statement in ``OutOfOrderCore.run``,
+    ``MemoryHierarchy.demand_access_time``/``_access_l2``,
+    ``MSHRFile.allocate``, ``Cache.fill_entry`` or ``DRAMModel.access``;
+    when editing either side, keep them in lockstep — the golden suite and
+    the differential harness will catch a divergence, not tolerate it.
+
+    ``shared`` selects the general variant: LRU counters and MSHR stall
+    floats live on the hierarchy objects because snoop-driven prefetchers
+    or software-prefetch ops interleave writes with ours.  The pure variant
+    (no snoop, no SWPF ops in the trace) keeps them in locals for the whole
+    chunk and writes them back once.
+    """
+
+    pure = not shared
+
+    if pure:
+        l1_stall_stmt = "l1_stall += grant - t"
+        l2_stall_stmt = "l2_stall += l2_grant - time2"
+    else:
+        l1_stall_stmt = "l1_mshrs.total_stall_cycles += grant - t"
+        l2_stall_stmt = "l2_mshrs.total_stall_cycles += l2_grant - time2"
+
+    # Optional ``level`` tracking: only the demand snoop consumes it.
+    lvl_l1 = '\n                    level = "l1"' if has_snoop else ""
+    lvl_l1_inflight = '\n                    level = "l1_inflight"' if has_snoop else ""
+    lvl_l2 = '\n                        level = "l2"' if has_snoop else ""
+    lvl_l2_inflight = '\n                        level = "l2_inflight"' if has_snoop else ""
+    lvl_dram = '\n                    level = "dram"' if has_snoop else ""
+
+    # ----- prologue -------------------------------------------------------
+    lines = ["def _replay_chunk_compiled(lane, chunk, set_col, tag_col):"]
+    lines.append("""\
+    l1_sets = lane.l1_sets
+    l2_sets = lane.l2_sets
+    l1_completions = lane.l1_completions
+    l2_completions = lane.l2_completions
+    channel_free = lane.channel_free
+    tlb_l1 = lane.tlb_l1
+    tlb_miss = lane.tlb_miss
+    completion = lane.completion
+    completion_append = completion.append
+    retires = lane.retires
+    retires_append = retires.append
+    rob_idx = len(retires) - %d
+    outstanding_loads = lane.outstanding_loads
+    loads_append = outstanding_loads.append
+    loads_popleft = outstanding_loads.popleft
+    loads_len = lane.loads_len
+    fetch_clock = lane.fetch_clock
+    last_retire = lane.last_retire
+    branch_counter = lane.branch_counter
+    last_page = lane.last_page
+    load_latency_total = lane.load_latency_total
+    load_stall_total = lane.load_stall_total
+    dram_busy = lane.dram_busy""" % rob)
+    if pure:
+        lines.append("""\
+    l1_stall = lane.l1_stall
+    l2_stall = lane.l2_stall""")
+    else:
+        lines.append("""\
+    l1_mshrs = lane.l1_mshrs
+    l2_mshrs = lane.l2_mshrs
+    prefetch_access = lane.prefetch_access""")
+    if has_snoop:
+        lines.append("    snoop = lane.snoop")
+    for name in _INT_COUNTERS:
+        lines.append(f"    {name} = lane.{name}")
+    lines.append("""\
+    dep_values = chunk.dep_values
+    dep_pos = 0""")
+
+    # ----- loop header ----------------------------------------------------
+    # The pure variant never reads op addresses (pages and set/tag columns
+    # are precomputed; no snoop or software prefetch needs the raw
+    # address), so its zip carries one column less.  The cache-line index
+    # is not a column at all: on the rare L1 miss it is reassembled from
+    # the set/tag pair (``tag << set_shift | set_index``), which is exact
+    # because the set count is a power of two.
+    if shared:
+        lines.append("""\
+    for kind, addr, fetch_incr, dep_end, page, set_index, tag in zip(
+        chunk.kinds, chunk.addrs, chunk.fetch_incr, chunk.dep_ends,
+        chunk.pages, set_col, tag_col,
+    ):""")
+    else:
+        lines.append("""\
+    for kind, fetch_incr, dep_end, page, set_index, tag in zip(
+        chunk.kinds, chunk.fetch_incr, chunk.dep_ends,
+        chunk.pages, set_col, tag_col,
+    ):""")
+
+    # ----- front end ------------------------------------------------------
+    # ``issue_time = max(fetch_clock, previous_issue, window head)`` loses
+    # the ``previous_issue`` term: fetch_clock advances by a non-negative
+    # increment from the previous issue time (verified by the column plan),
+    # so it dominates.  The ROB window head is retires[i - rob] — the
+    # retire-window deque is replaced by the append-only retires list.
+    lines.append("""\
+        issue_time = fetch_clock
+        if rob_idx >= 0:
+            rob_ready = retires[rob_idx]
+            if rob_ready > issue_time:
+                issue_time = rob_ready
+        rob_idx += 1
+        fetch_clock = issue_time + fetch_incr
+        deps_ready = issue_time
+        while dep_pos < dep_end:
+            dep_time = completion[dep_values[dep_pos]]
+            dep_pos += 1
+            if dep_time > deps_ready:
+                deps_ready = dep_time""")
+
+    # ----- shared inline blocks ------------------------------------------
+    l1_mshr_block = f"""\
+                while l1_completions and l1_completions[0] <= t:
+                    heappop(l1_completions)
+                if len(l1_completions) < {l1_cap!r}:
+                    grant = t
+                else:
+                    grant = l1_completions[0]
+                    {l1_stall_stmt}
+                    while l1_completions and l1_completions[0] <= grant:
+                        heappop(l1_completions)
+                l1_allocations += 1"""
+
+    if channels == 2:
+        dram_block = f"""\
+                    free0 = channel_free[0]
+                    free1 = channel_free[1]
+                    if free1 < free0:
+                        start = time3 if time3 > free1 else free1
+                        channel_free[1] = start + {svc!r}
+                    else:
+                        start = time3 if time3 > free0 else free0
+                        channel_free[0] = start + {svc!r}"""
+    else:
+        dram_block = f"""\
+                    dram_channel = 0
+                    dram_earliest = channel_free[0]
+                    for dram_i in range(1, {channels!r}):
+                        dram_free = channel_free[dram_i]
+                        if dram_free < dram_earliest:
+                            dram_earliest = dram_free
+                            dram_channel = dram_i
+                    start = time3 if time3 > dram_earliest else dram_earliest
+                    channel_free[dram_channel] = start + {svc!r}"""
+
+    l2_block = f"""\
+                time2 = grant + {l1_hit!r}
+                line_index = tag << {l1_shift!r} | set_index
+                l2_read_accesses += 1
+                l2_set = l2_sets[line_index & {l2_mask!r}]
+                l2_tag = line_index >> {l2_shift!r}
+                l2_line = l2_set.get(l2_tag)
+                if l2_line is not None:
+                    del l2_set[l2_tag]
+                    l2_set[l2_tag] = l2_line
+                    if l2_line.prefetched and not l2_line.used:
+                        l2_line.used = True
+                        l2_prefetch_used += 1
+                    fill_time = l2_line.fill_time
+                    if fill_time <= time2:
+                        l2_read_hits += 1
+                        complete = time2 + {l2_hit!r}{lvl_l2}
+                    else:
+                        l2_inflight_merges += 1
+                        earliest = time2 + {l2_hit!r}
+                        complete = fill_time if fill_time > earliest else earliest{lvl_l2_inflight}
+                else:
+                    l2_misses += 1
+                    while l2_completions and l2_completions[0] <= time2:
+                        heappop(l2_completions)
+                    if len(l2_completions) < {l2_cap!r}:
+                        l2_grant = time2
+                    else:
+                        l2_grant = l2_completions[0]
+                        {l2_stall_stmt}
+                        while l2_completions and l2_completions[0] <= l2_grant:
+                            heappop(l2_completions)
+                    l2_allocations += 1
+                    time3 = l2_grant + {l2_hit!r}
+{dram_block}
+                    dram_busy += {svc!r}
+                    dram_demand += 1
+                    complete = start + {dram_lat!r}
+                    l2_existing = l2_set.get(l2_tag)
+                    if l2_existing is not None:
+                        if complete < l2_existing.fill_time:
+                            l2_existing.fill_time = complete
+                        del l2_set[l2_tag]
+                        l2_set[l2_tag] = l2_existing
+                    else:
+                        if len(l2_set) >= {l2_assoc!r}:
+                            l2_victim = l2_set.pop(next(iter(l2_set)))
+                            l2_evictions += 1
+                            if l2_victim.dirty:
+                                l2_dirty_evictions += 1
+                                dram_writebacks += 1
+                            if l2_victim.prefetched and not l2_victim.used:
+                                l2_prefetch_evicted_unused += 1
+                        l2_set[l2_tag] = CacheLine(l2_tag, complete, False, False, False, 0)
+                    heappush(l2_completions, complete){lvl_dram}"""
+
+    def l1_fill_block(write: bool) -> str:
+        dirty_merge = (
+            "\n                    l1_existing.dirty = True" if write else ""
+        )
+        return f"""\
+                l1_existing = cache_set.get(tag)
+                if l1_existing is not None:
+                    if complete < l1_existing.fill_time:
+                        l1_existing.fill_time = complete{dirty_merge}
+                    del cache_set[tag]
+                    cache_set[tag] = l1_existing
+                else:
+                    if len(cache_set) >= {l1_assoc!r}:
+                        l1_victim = cache_set.pop(next(iter(cache_set)))
+                        l1_evictions += 1
+                        if l1_victim.dirty:
+                            l1_dirty_evictions += 1
+                        if l1_victim.prefetched and not l1_victim.used:
+                            l1_prefetch_evicted_unused += 1
+                    cache_set[tag] = CacheLine(tag, complete, False, False, {write!r}, 0)
+                heappush(l1_completions, complete)"""
+
+    # ----- LOAD -----------------------------------------------------------
+    lines.append(f"""\
+        if kind == {_KIND_LOAD!r}:
+            if loads_len >= {lq!r}:
+                lq_ready = loads_popleft()
+                loads_len -= 1
+                if lq_ready > deps_ready:
+                    deps_ready = lq_ready
+{_tlb_block("deps_ready")}
+            l1_read_accesses += 1
+            cache_set = l1_sets[set_index]
+            line = cache_set.get(tag)
+            if line is not None:
+                fill_time = line.fill_time
+                if fill_time <= t:
+                    l1_read_hits += 1
+                    complete = t + {l1_hit!r}{lvl_l1}
+                else:
+                    l1_inflight_merges += 1
+                    earliest = t + {l1_hit!r}
+                    complete = fill_time if fill_time > earliest else earliest{lvl_l1_inflight}
+                del cache_set[tag]
+                cache_set[tag] = line
+                if line.prefetched and not line.used:
+                    line.used = True
+                    l1_prefetch_used += 1
+            else:
+                l1_misses += 1
+{l1_mshr_block}
+{l2_block}
+{l1_fill_block(False)}""")
+    if has_snoop:
+        lines.append("""\
+            snoop(addr, t, level)
+            last_page = -1""")
+    lines.append(f"""\
+            loads_append(complete)
+            loads_len += 1
+            latency = complete - deps_ready
+            load_latency_total += latency
+            if latency > {alu!r}:
+                load_stall_total += latency""")
+
+    # ----- COMPUTE (the second most common kind gets the second test) -----
+    lines.append(f"""\
+        elif kind == {_KIND_COMPUTE!r}:
+            base = fetch_clock if fetch_clock > deps_ready else deps_ready
+            complete = base + {alu!r}""")
+
+    # ----- STORE ----------------------------------------------------------
+    # The store's hierarchy completion time is discarded (store-buffer
+    # model) and writes are never snooped; ``complete`` from the inlined
+    # miss path is overwritten below.
+    lines.append(f"""\
+        elif kind == {_KIND_STORE!r}:
+{_tlb_block("deps_ready")}
+            l1_write_accesses += 1
+            cache_set = l1_sets[set_index]
+            line = cache_set.get(tag)
+            if line is not None:
+                if line.fill_time <= t:
+                    l1_write_hits += 1
+                else:
+                    l1_inflight_merges += 1
+                del cache_set[tag]
+                cache_set[tag] = line
+                line.dirty = True
+                if line.prefetched and not line.used:
+                    line.used = True
+                    l1_prefetch_used += 1
+            else:
+                l1_misses += 1
+{l1_mshr_block}
+{l2_block}
+{l1_fill_block(True)}
+            complete = deps_ready + {alu!r}""")
+
+    # ----- BRANCH ---------------------------------------------------------
+    if every:
+        lines.append(f"""\
+        elif kind == {_KIND_BRANCH!r}:
+            branch_counter += 1
+            complete = deps_ready + {alu!r}
+            if branch_counter % {every!r} == 0:
+                flush_until = complete + {penalty!r}
+                if flush_until > fetch_clock:
+                    fetch_clock = flush_until""")
+    else:
+        lines.append(f"""\
+        elif kind == {_KIND_BRANCH!r}:
+            branch_counter += 1
+            complete = deps_ready + {alu!r}""")
+
+    # ----- SOFTWARE_PREFETCH (absent from pure traces by construction) ----
+    if shared:
+        lines.append(f"""\
+        elif kind == {_KIND_SWPF!r}:
+            prefetch_access(addr, deps_ready)
+            last_page = -1
+            complete = deps_ready + {alu!r}""")
+
+    # ----- everything else (CONFIG costs a single instruction) -----------
+    lines.append(f"""\
+        else:
+            base = fetch_clock if fetch_clock > deps_ready else deps_ready
+            complete = base + {alu!r}""")
+
+    # ----- retire ---------------------------------------------------------
+    lines.append("""\
+        completion_append(complete)
+        if complete > last_retire:
+            last_retire = complete
+        retires_append(last_retire)""")
+
+    # ----- epilogue -------------------------------------------------------
+    lines.append("""\
+    lane.loads_len = loads_len
+    lane.fetch_clock = fetch_clock
+    lane.last_retire = last_retire
+    lane.branch_counter = branch_counter
+    lane.last_page = last_page
+    lane.load_latency_total = load_latency_total
+    lane.load_stall_total = load_stall_total
+    lane.dram_busy = dram_busy""")
+    if pure:
+        lines.append("""\
+    lane.l1_stall = l1_stall
+    lane.l2_stall = l2_stall""")
+    for name in _INT_COUNTERS:
+        lines.append(f"    lane.{name} = {name}")
+
+    return "\n".join(lines) + "\n"
+
+
+def _chunk_fn(
+    hierarchy: MemoryHierarchy, core_config: CoreConfig, *, has_snoop: bool, shared: bool
+) -> Callable:
+    """The compiled chunk-replay function for one lane's signature."""
+
+    l1 = hierarchy.l1
+    l2 = hierarchy.l2
+    dram = hierarchy.dram
+    key = (
+        core_config.rob_entries,
+        core_config.load_queue_entries,
+        core_config.int_alu_latency,
+        core_config.branch_mispredict_penalty,
+        _mispredict_every(core_config),
+        hierarchy._l1_hit_latency,
+        hierarchy.l1_mshrs._capacity,
+        l1._associativity,
+        hierarchy._l1_set_shift,
+        hierarchy._l2_hit_latency,
+        hierarchy.l2_mshrs._capacity,
+        l2._associativity,
+        hierarchy._l2_set_mask,
+        hierarchy._l2_set_shift,
+        dram._access_latency,
+        dram._service_cycles,
+        len(dram._channel_free),
+        has_snoop,
+        shared,
+    )
+    fn = _COMPILED.get(key)
+    if fn is None:
+        source = _chunk_source(*key)
+        namespace = {"heappop": heappop, "heappush": heappush, "CacheLine": CacheLine}
+        exec(compile(source, "<repro.sim.vector.replay>", "exec"), namespace)
+        fn = namespace["_replay_chunk_compiled"]
+        _COMPILED[key] = fn
+    return fn
+
+
+# --------------------------------------------------------------------------
+# Lane state
+# --------------------------------------------------------------------------
+
+
+class _Lane:
+    """One hierarchy's replay state, persisted between chunks.
+
+    The compiled chunk function unpacks these fields into locals, runs, and
+    repacks — the pack/unpack cost is amortised over
+    :data:`~.columns.CHUNK_OPS` ops.
+    """
+
+    __slots__ = (
+        # static per-lane references
+        "hierarchy", "l1", "l2", "l1_sets", "l2_sets",
+        "l1_mshrs", "l2_mshrs", "l1_completions", "l2_completions",
+        "channel_free", "tlb_l1", "tlb_miss", "prefetch_access", "snoop",
+        "l1_set_mask", "l1_set_shift", "chunk_fn", "pure",
+        # core timing state
+        "completion", "retires", "outstanding_loads", "loads_len",
+        "fetch_clock", "last_retire", "branch_counter", "last_page",
+        "load_latency_total", "load_stall_total",
+        # pure-variant mirrors of order-dependent shared floats
+        "l1_stall", "l2_stall",
+        # exact float accumulator (multiples of the DRAM service time)
+        "dram_busy",
+    ) + _INT_COUNTERS
+
+    def __init__(self, hierarchy: MemoryHierarchy, core_config: CoreConfig, shared: bool) -> None:
+        self.hierarchy = hierarchy
+        self.l1 = hierarchy.l1
+        self.l2 = hierarchy.l2
+        self.l1_sets = hierarchy.l1._sets
+        self.l2_sets = hierarchy.l2._sets
+        self.l1_mshrs = hierarchy.l1_mshrs
+        self.l2_mshrs = hierarchy.l2_mshrs
+        self.l1_completions = hierarchy.l1_mshrs._completions
+        self.l2_completions = hierarchy.l2_mshrs._completions
+        self.channel_free = hierarchy.dram._channel_free
+        self.tlb_l1 = hierarchy._tlb_l1_entries
+        self.tlb_miss = hierarchy.tlb.miss
+        self.prefetch_access = hierarchy.prefetch_access
+        self.snoop = hierarchy._demand_snoop
+        self.l1_set_mask = hierarchy._l1_set_mask
+        self.l1_set_shift = hierarchy._l1_set_shift
+        self.pure = not shared
+        self.chunk_fn = _chunk_fn(
+            hierarchy, core_config, has_snoop=self.snoop is not None, shared=shared
+        )
+
+        self.completion: list[float] = []
+        self.retires: list[float] = []
+        self.outstanding_loads: deque[float] = deque()
+        self.loads_len = 0
+        self.fetch_clock = 0.0
+        self.last_retire = 0.0
+        self.branch_counter = 0
+        self.last_page = -1
+        self.load_latency_total = 0.0
+        self.load_stall_total = 0.0
+
+        # Pure variant: this loop is the sole writer of the MSHR stall
+        # accumulators, so the lane carries them (seeded with the current
+        # values) and *assigns* them back — bit-identical to the
+        # interpreter's in-place adds because the add order is preserved.
+        self.l1_stall = hierarchy.l1_mshrs.total_stall_cycles
+        self.l2_stall = hierarchy.l2_mshrs.total_stall_cycles
+        self.dram_busy = 0.0
+
+        for name in _INT_COUNTERS:
+            setattr(self, name, 0)
+
+    def fold_stats(self) -> None:
+        """Apply the locally accumulated counters to the shared stats objects.
+
+        Integer addition is commutative and exact, so folding once at the
+        end produces the same totals as the interpreter's per-op increments
+        even though prefetch paths incremented the same objects mid-run.
+        The DRAM busy fold is float but exact (every term is a multiple of
+        the line service time, far below 2**53).
+        """
+
+        hierarchy = self.hierarchy
+        tlb_stats = hierarchy.tlb.stats
+        tlb_stats.accesses += self.tlb_accesses
+        tlb_stats.l1_hits += self.tlb_l1_hits
+
+        l1_stats = self.l1.stats
+        l1_stats.demand_read_accesses += self.l1_read_accesses
+        l1_stats.demand_read_hits += self.l1_read_hits
+        l1_stats.demand_write_accesses += self.l1_write_accesses
+        l1_stats.demand_write_hits += self.l1_write_hits
+        l1_stats.inflight_merges += self.l1_inflight_merges
+        l1_stats.misses += self.l1_misses
+        l1_stats.prefetch_used += self.l1_prefetch_used
+        l1_stats.evictions += self.l1_evictions
+        l1_stats.dirty_evictions += self.l1_dirty_evictions
+        l1_stats.prefetch_evicted_unused += self.l1_prefetch_evicted_unused
+
+        l2_stats = self.l2.stats
+        l2_stats.demand_read_accesses += self.l2_read_accesses
+        l2_stats.demand_read_hits += self.l2_read_hits
+        l2_stats.inflight_merges += self.l2_inflight_merges
+        l2_stats.misses += self.l2_misses
+        l2_stats.prefetch_used += self.l2_prefetch_used
+        l2_stats.evictions += self.l2_evictions
+        l2_stats.dirty_evictions += self.l2_dirty_evictions
+        l2_stats.prefetch_evicted_unused += self.l2_prefetch_evicted_unused
+
+        self.l1_mshrs.total_allocations += self.l1_allocations
+        self.l2_mshrs.total_allocations += self.l2_allocations
+        if self.pure:
+            self.l1_mshrs.total_stall_cycles = self.l1_stall
+            self.l2_mshrs.total_stall_cycles = self.l2_stall
+
+        dram_stats = self.hierarchy.dram.stats
+        dram_stats.demand_accesses += self.dram_demand
+        dram_stats.writebacks += self.dram_writebacks
+        dram_stats.busy_cycles += self.dram_busy
+
+
+# --------------------------------------------------------------------------
+# Entry points
+# --------------------------------------------------------------------------
+
+
+def replay_trace_batch(
+    trace: Trace,
+    hierarchies: Sequence[MemoryHierarchy],
+    core_config: CoreConfig,
+    *,
+    chunk_ops: int = CHUNK_OPS,
+) -> list[CoreStats]:
+    """Replay ``trace`` over N hierarchies in one pass; return N CoreStats.
+
+    All lanes must share the core configuration, line size and page size;
+    they may differ freely in cache geometry (sets, associativity, latency,
+    MSHRs) and attached hardware prefetchers.  The trace columns are decoded
+    once per chunk; each lane then consumes the shared chunk with its own
+    vectorized set/tag columns, so simulating N geometries costs one column
+    pass plus N state machines instead of N full replays.
+
+    Raises :class:`VectorBackendUnsupported` — before mutating any lane —
+    when numpy is missing or any lane falls outside the supported envelope.
+    """
+
+    if not hierarchies:
+        return []
+    first = hierarchies[0]
+    line_shift = first.l1._line_shift
+    if line_shift is None:
+        raise VectorBackendUnsupported("non-power-of-two cache line size")
+    page_bytes = first.tlb._page_bytes
+    for hierarchy in hierarchies:
+        _check_lane_supported(hierarchy, line_shift, page_bytes)
+    plan = TraceColumnPlan(
+        trace,
+        page_bytes=page_bytes,
+        line_shift=line_shift,
+        issue_width=core_config.issue_width,
+        chunk_ops=chunk_ops,
+    )
+
+    counts = plan.kind_counts()
+    software_prefetches = counts[_KIND_SWPF]
+    lanes = [
+        _Lane(
+            hierarchy,
+            core_config,
+            shared=hierarchy._demand_snoop is not None or software_prefetches > 0,
+        )
+        for hierarchy in hierarchies
+    ]
+
+    lane_set_tag = plan.lane_set_tag
+    want_addrs = any(not lane.pure for lane in lanes)
+    for chunk in plan.chunks(want_addrs=want_addrs):
+        # Lanes sharing a geometry share the chunk's set/tag columns.
+        geometry_cache: dict[tuple[int, int], tuple[list, list]] = {}
+        for lane in lanes:
+            key = (lane.l1_set_mask, lane.l1_set_shift)
+            columns = geometry_cache.get(key)
+            if columns is None:
+                columns = lane_set_tag(chunk, key[0], key[1])
+                geometry_cache[key] = columns
+            lane.chunk_fn(lane, chunk, columns[0], columns[1])
+
+    instructions = plan.total_instructions()
+    loads = counts[_KIND_LOAD]
+    stores = counts[_KIND_STORE]
+    branches = counts[_KIND_BRANCH]
+    mispredict_every = _mispredict_every(core_config)
+    # branch_counter runs 1..branches with a mispredict at every multiple of
+    # mispredict_every, so the count closes to a division.
+    branch_mispredicts = branches // mispredict_every if mispredict_every else 0
+
+    results = []
+    for lane in lanes:
+        lane.fold_stats()
+        results.append(
+            CoreStats(
+                cycles=lane.last_retire,
+                instructions=instructions,
+                ops=plan.n,
+                loads=loads,
+                stores=stores,
+                software_prefetches=software_prefetches,
+                branches=branches,
+                branch_mispredicts=branch_mispredicts,
+                load_latency_total=lane.load_latency_total,
+                load_stall_total=lane.load_stall_total,
+            )
+        )
+    return results
+
+
+def replay_trace(
+    trace: Trace,
+    hierarchy: MemoryHierarchy,
+    core_config: CoreConfig,
+    *,
+    chunk_ops: int = CHUNK_OPS,
+) -> CoreStats:
+    """Single-lane :func:`replay_trace_batch` — the per-request entry point."""
+
+    return replay_trace_batch(trace, [hierarchy], core_config, chunk_ops=chunk_ops)[0]

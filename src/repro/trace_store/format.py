@@ -82,11 +82,12 @@ def encode_artifact(artifact: TraceArtifact, *, digest: str = "") -> bytes:
     return payload + hashlib.sha256(payload).digest()
 
 
-def decode_header(data: bytes) -> dict:
+def decode_header(data) -> dict:
     """Parse and return only the header JSON (used by the maintenance CLI).
 
     Validates the preamble but not the column blobs or the checksum, so it
-    stays cheap for ``ls`` over a large store.
+    stays cheap for ``ls`` over a large store.  ``data`` may be any
+    bytes-like buffer (``bytes``, ``memoryview``, ...).
     """
 
     if len(data) < _PREAMBLE.size:
@@ -100,7 +101,7 @@ def decode_header(data: bytes) -> dict:
     if len(data) < end:
         raise TraceStoreError("artifact truncated inside the header")
     try:
-        header = json.loads(data[_PREAMBLE.size : end].decode("utf-8"))
+        header = json.loads(bytes(data[_PREAMBLE.size : end]).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise TraceStoreError(f"artifact header is not valid JSON: {error}") from error
     if not isinstance(header, dict):
@@ -145,8 +146,14 @@ def validate_artifact_bytes(data: bytes) -> bool:
     return hashlib.sha256(payload).digest() == checksum
 
 
-def decode_artifact(data: bytes) -> TraceArtifact:
+def decode_artifact(data) -> TraceArtifact:
     """Deserialise artifact bytes, verifying structure and checksum.
+
+    ``data`` may be any bytes-like buffer: a ``memoryview`` over a shared
+    memory segment decodes without an intermediate copy (only the column
+    payloads are copied, once, into the ``array`` objects that own them),
+    which is what lets the multiprocess runner ship one set of trace bytes
+    to every worker instead of pickling a copy per chunk.
 
     Raises:
         TraceStoreError: On any corruption — truncation, bad magic/version,

@@ -169,6 +169,69 @@ class TestExecution:
             assert second[request].as_dict() == first[request].as_dict()
 
 
+class TestSharedMemoryShipping:
+    """Warm trace columns travel to workers via shared memory, not pickles."""
+
+    def test_share_and_attach_roundtrip(self):
+        from repro.sim.engine import runner as runner_module
+
+        key = ("intsort", "tiny", 42)
+        data = b"RTRC" + bytes(range(64))
+        refs_by_key, segments = runner_module._share_artifacts({key: {"plain": data}})
+        try:
+            ref = refs_by_key[key]["plain"]
+            assert ref[0] == "shm" and ref[2] == len(data)
+            encoded, attached = runner_module._attach_encoded(refs_by_key[key])
+            assert bytes(encoded["plain"]) == data
+            encoded.clear()
+            for view, segment in attached:
+                view.release()
+                segment.close()
+        finally:
+            for segment in segments:
+                segment.close()
+                segment.unlink()
+
+    def test_without_shared_memory_bytes_ship_inline(self, monkeypatch):
+        from repro.sim.engine import runner as runner_module
+
+        monkeypatch.setattr(runner_module, "_shared_memory", None)
+        key = ("intsort", "tiny", 42)
+        data = b"RTRC-payload"
+        refs_by_key, segments = runner_module._share_artifacts({key: {"plain": data}})
+        assert segments == []
+        assert refs_by_key[key]["plain"] == ("bytes", data)
+        encoded, attached = runner_module._attach_encoded(refs_by_key[key])
+        assert encoded == {"plain": data}
+        assert attached == []
+
+    def test_missing_segment_is_dropped_not_fatal(self):
+        from repro.sim.engine import runner as runner_module
+
+        encoded, attached = runner_module._attach_encoded(
+            {"plain": ("shm", "psm_does_not_exist_anymore", 16)}
+        )
+        assert encoded == {} and attached == []
+
+    def test_workers_never_reencode_warm_traces(self, config, tmp_path, monkeypatch):
+        from repro.trace_store import TraceStore
+
+        monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path))
+        plan = tiny_plan(config, modes=[PrefetchMode.NONE, PrefetchMode.STRIDE])
+        # Warm the store once, serially.
+        warm = SimEngine(runner=SerialRunner(trace_store=TraceStore(tmp_path))).run(plan)
+        assert warm.stats.trace_built > 0
+        # A parallel run over the warm store must ship every trace to the
+        # workers (shared memory when available, pickled bytes otherwise)
+        # and re-emit none of them.
+        runner = MultiprocessRunner(workers=2, trace_store=TraceStore(tmp_path))
+        parallel = SimEngine(runner=runner).run(plan)
+        assert parallel.stats.trace_built == 0
+        assert parallel.stats.trace_hits == warm.stats.trace_built
+        for request in plan:
+            assert parallel[request].as_dict() == warm[request].as_dict()
+
+
 class TestResultCache:
     def test_warm_cache_executes_nothing_and_matches_cold_run(self, config, tmp_path):
         plan = tiny_plan(config)
