@@ -41,6 +41,11 @@ def main() -> None:
                         help="trace-artifact store directory, or 'off' to disable the "
                              "tier (default: $REPRO_TRACE_STORE, falling back to the "
                              "per-user cache directory)")
+    parser.add_argument("--service", metavar="ADDR", default=None,
+                        help="submit simulations to a running 'repro serve' daemon at "
+                             "ADDR (host:port or unix:/path) instead of simulating "
+                             "locally; --parallel/--jobs/--cache/--trace-store then "
+                             "apply on the daemon side, not here")
     parser.add_argument("--write-experiments", metavar="PATH", nargs="?",
                         const="EXPERIMENTS.md", default=None,
                         help="write the Markdown report to PATH (default EXPERIMENTS.md)")
@@ -52,7 +57,7 @@ def main() -> None:
 
     parallel = args.parallel or args.jobs is not None
     engine = build_engine(parallel=parallel, workers=args.jobs, cache_dir=args.cache,
-                          trace_store_dir=args.trace_store)
+                          trace_store_dir=args.trace_store, service=args.service)
     report = run_report(
         workloads=args.workloads,
         scale=args.scale,

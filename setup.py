@@ -15,7 +15,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-programmable-prefetcher",
-    version="0.6.0",
+    version="0.7.0",
     description=(
         "Software reproduction of an event-triggered programmable prefetcher "
         "with a cycle-approximate cache and out-of-order core model"
@@ -24,6 +24,12 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.10",
     install_requires=[],
+    entry_points={
+        "console_scripts": [
+            # `repro serve` runs the simulation service daemon.
+            "repro=repro.cli:main",
+        ],
+    },
     extras_require={
         # Optional acceleration tier; results are bit-identical without it.
         "vector": ["numpy>=1.22"],

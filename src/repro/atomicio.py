@@ -1,0 +1,108 @@
+"""Atomic write-then-rename files shared by the on-disk caches.
+
+Both persistent tiers — the :class:`~repro.sim.engine.cache.ResultCache`
+and the :class:`~repro.trace_store.TraceStore` — publish entries with the
+same discipline: write the payload to a temp file in the target directory,
+then ``os.replace`` it into place, so concurrent readers (other runs,
+multiprocess workers, service-daemon threads) only ever see a complete old
+or complete new file.
+
+The original per-class implementations named the temp file
+``<entry>.tmp.<pid>``, which is unique across *processes* but not within
+one: two concurrent writers of the same entry in the same process — exactly
+what a long-lived ``repro serve`` daemon produces when a pool completion
+callback and a submission handler both store the same digest — would share
+one temp path, interleave their bytes, and then race ``os.replace`` (the
+loser raises ``FileNotFoundError``; worse, a corrupt interleaving can win
+the rename).  :func:`atomic_write_bytes` therefore makes temp names unique
+per *write* — ``<entry>.tmp.<pid>.<thread>.<seq>`` — while keeping the pid
+as the first suffix component so the dead-writer sweep can still tell
+whether the owning process is alive.
+
+The sweep (:func:`sweep_dead_writer_tmp_files`) removes temp files whose
+writer process no longer exists: a run killed between the write and the
+rename would otherwise leave its temp file behind forever.  Temp files of
+live processes — concurrent runs sharing the directory — are left alone,
+as are this process's own (a writer may be mid-rename on another thread).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from pathlib import Path
+
+#: Process-wide sequence making every temp name unique even when one thread
+#: writes the same entry twice back to back.
+_WRITE_SEQUENCE = itertools.count()
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for the pid embedded in a temp-file name."""
+
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):  # exists but owned elsewhere / platform quirk
+        return True
+    return True
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically via a uniquely-named temp file.
+
+    Readers never observe a partial file, and concurrent writers of the same
+    path — across processes *or* within one — never share a temp file: last
+    rename wins with a complete payload either way.
+    """
+
+    tmp = path.parent / (
+        f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}.{next(_WRITE_SEQUENCE)}"
+    )
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    except BaseException:
+        # Never leave a temp file behind on an error *this* process survives
+        # (disk full, encoding bug); the sweep only reaps dead writers.
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def writer_pid(tmp_path: Path) -> int | None:
+    """The writer pid embedded in a temp-file name, or ``None`` if unparsable.
+
+    Understands both the current ``<entry>.tmp.<pid>.<thread>.<seq>`` layout
+    and the legacy ``<entry>.tmp.<pid>`` one, so upgrading does not strand
+    old leftovers.
+    """
+
+    name = tmp_path.name
+    marker = name.rfind(".tmp.")
+    if marker < 0:
+        return None
+    first = name[marker + len(".tmp.") :].split(".", 1)[0]
+    return int(first) if first.isdigit() else None
+
+
+def sweep_dead_writer_tmp_files(directory: Path) -> int:
+    """Remove ``*.tmp.*`` leftovers whose writer process is gone.
+
+    Returns how many files were removed.  Files owned by a live process (a
+    concurrent run sharing this directory) or by this process itself are
+    kept.
+    """
+
+    removed = 0
+    for stale in directory.glob("*.tmp.*"):
+        pid = writer_pid(stale)
+        if pid is None or pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            stale.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - lost a race with another sweeper
+            pass
+    return removed

@@ -93,6 +93,33 @@ class RegistryError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """A failure in the simulation service tier (``repro serve``).
+
+    Raised by the :mod:`repro.service` client for connection failures that
+    survive retry-with-backoff, protocol timeouts, and server-reported
+    submission errors.
+    """
+
+
+class ServiceProtocolError(ServiceError):
+    """A malformed message crossed the service wire protocol.
+
+    Covers undecodable lines, non-object payloads and messages whose fields
+    cannot be mapped back onto :class:`~repro.sim.engine.SimRequest` /
+    :class:`~repro.sim.results.SimulationResult` values.
+    """
+
+
+class WorkerCrashedError(ServiceError):
+    """A service pool worker died while executing a chunk.
+
+    Raised internally by :class:`repro.service.pool.ChunkPool`; the server
+    catches it, requeues the chunk, and only surfaces a failure label to
+    waiting clients when the chunk exhausts its retry budget.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload was asked for something it cannot provide.
 

@@ -83,6 +83,7 @@ def build_engine(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     trace_store_dir: Optional[str] = None,
+    service: Optional[str] = None,
 ) -> SimEngine:
     """Assemble an engine from the common driver knobs.
 
@@ -90,8 +91,18 @@ def build_engine(
     artifact tier: ``None`` uses the environment default
     (``REPRO_TRACE_STORE``, falling back to the per-user cache directory),
     ``"off"`` disables the tier, and any other value names the directory.
+
+    ``service`` short-circuits everything else: instead of simulating
+    locally, return a :class:`~repro.service.ServiceEngine` that submits
+    plans to a running ``repro serve`` daemon at that address
+    (``host:port`` or ``unix:/path``).  The daemon owns its own cache,
+    trace store and workers, so the local knobs do not apply.
     """
 
+    if service is not None:
+        from ..service import ServiceEngine
+
+        return ServiceEngine(service)
     store = trace_store_from_spec(trace_store_dir)
     runner = (
         MultiprocessRunner(workers, trace_store=store)
@@ -114,6 +125,7 @@ def run_report(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     trace_store_dir: Optional[str] = None,
+    service: Optional[str] = None,
 ) -> ReproductionReport:
     """Run the full experiment suite and return the collected report.
 
@@ -128,7 +140,7 @@ def run_report(
     if engine is None:
         engine = build_engine(
             parallel=parallel, workers=workers, cache_dir=cache_dir,
-            trace_store_dir=trace_store_dir,
+            trace_store_dir=trace_store_dir, service=service,
         )
 
     # One plan drives everything: the Figure 7 comparison modes (shared by

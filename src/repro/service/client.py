@@ -1,0 +1,409 @@
+"""Client library for the simulation service daemon.
+
+Three layers, lowest to highest:
+
+* :class:`ServiceClient` — a blocking socket client speaking the
+  newline-delimited JSON protocol: connect (with exponential-backoff
+  retries), handshake, :meth:`~ServiceClient.submit` a list of requests and
+  stream progress events until ``done``.  The split
+  :meth:`~ServiceClient.submit_nowait` / :meth:`~ServiceClient.read_event`
+  pair exposes individual protocol events for tests that synchronise on
+  them (the fault-injection tier never sleeps for ordering).
+* :func:`run_plan` / :class:`ServiceEngine` — a drop-in
+  :class:`~repro.sim.engine.SimEngine` facade: ``ServiceEngine(addr).run(plan)``
+  returns a :class:`~repro.sim.engine.BatchResult` keyed by the *local*
+  request digests, bit-identical to a direct engine run, so every driver
+  (``reproduce_paper.py --service``, the eval report) works unchanged
+  against a daemon.
+* :func:`spawn_local_daemon` — start ``python -m repro.service`` as a
+  subprocess and return its announced address; shared by the smoke tool and
+  the SIGTERM-drain test.
+
+Requests travel as declarative wire payloads (never digests), so client and
+server agree on *what* to simulate even across source revisions; results
+come back as exact-round-trip :meth:`~repro.sim.results.SimulationResult.
+as_dict` payloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..errors import ServiceError, ServiceProtocolError
+from ..sim.engine import BatchResult, EngineStats, SimPlan, SimRequest
+from ..sim.results import SimulationResult
+from .protocol import MAX_MESSAGE_BYTES, decode_message, encode_message, request_to_wire
+
+#: Event callback: receives every server message for one submission.
+EventCallback = Callable[[dict[str, Any]], None]
+
+
+def parse_address(address: str) -> Union[tuple[str, int], str]:
+    """Parse ``host:port`` or ``unix:/path`` into connectable form."""
+
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise ServiceError(f"empty UNIX socket path in address {address!r}")
+        return path
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ServiceError(
+            f"service address {address!r} is not 'host:port' or 'unix:/path'"
+        )
+    try:
+        return (host, int(port))
+    except ValueError as error:
+        raise ServiceError(f"bad port in service address {address!r}") from error
+
+
+class ServiceClient:
+    """Blocking NDJSON client for one daemon connection."""
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        timeout: Optional[float] = 300.0,
+        connect_retries: int = 5,
+        backoff: float = 0.05,
+        name: Optional[str] = None,
+    ) -> None:
+        self.address = address
+        self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.backoff = backoff
+        self.name = name or f"client-{os.getpid()}"
+        self.welcome: Optional[dict[str, Any]] = None
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._ids = itertools.count(1)
+        self.connect()
+
+    # ------------------------------------------------------------ transport
+
+    def connect(self) -> None:
+        """(Re)connect with exponential backoff, then handshake."""
+
+        self.close()
+        target = parse_address(self.address)
+        last_error: Optional[Exception] = None
+        delay = self.backoff
+        for attempt in range(self.connect_retries + 1):
+            if attempt:
+                time.sleep(delay)
+                delay *= 2
+            try:
+                if isinstance(target, str):
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.settimeout(self.timeout)
+                    sock.connect(target)
+                else:
+                    sock = socket.create_connection(target, timeout=self.timeout)
+            except OSError as error:
+                last_error = error
+                continue
+            self._sock = sock
+            self._file = sock.makefile("rb")
+            self._send({"type": "hello", "client": self.name})
+            self.welcome = self.read_event()
+            if self.welcome.get("type") != "welcome":
+                raise ServiceProtocolError(
+                    f"expected welcome, got {self.welcome.get('type')!r}"
+                )
+            return
+        raise ServiceError(
+            f"could not connect to service at {self.address!r} "
+            f"after {self.connect_retries + 1} attempts: {last_error}"
+        )
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _send(self, message: dict[str, Any]) -> None:
+        if self._sock is None:
+            raise ServiceError("client is not connected")
+        try:
+            self._sock.sendall(encode_message(message))
+        except OSError as error:
+            raise ServiceError(f"send to service failed: {error}") from error
+
+    def read_event(self) -> dict[str, Any]:
+        """Read one server message (blocking up to ``timeout``)."""
+
+        if self._file is None:
+            raise ServiceError("client is not connected")
+        try:
+            line = self._file.readline(MAX_MESSAGE_BYTES)
+        except socket.timeout as error:
+            raise ServiceError(
+                f"timed out after {self.timeout}s waiting for the service"
+            ) from error
+        except OSError as error:
+            raise ServiceError(f"read from service failed: {error}") from error
+        if not line:
+            raise ServiceError("service closed the connection")
+        return decode_message(line)
+
+    # ------------------------------------------------------------- requests
+
+    def submit_nowait(self, requests: Sequence[SimRequest]) -> int:
+        """Send one submission; returns its id.  Events via :meth:`read_event`."""
+
+        sid = next(self._ids)
+        self._send(
+            {
+                "type": "submit",
+                "id": sid,
+                "requests": [request_to_wire(request) for request in requests],
+            }
+        )
+        return sid
+
+    def submit(
+        self,
+        requests: Sequence[SimRequest],
+        on_event: Optional[EventCallback] = None,
+    ) -> dict[str, Any]:
+        """Submit and block until ``done``; returns the done message.
+
+        If the connection dies before the submission is ``accepted`` (the
+        daemon restarted, a transient network fault), the client reconnects
+        and resubmits — safe because nothing was scheduled yet.  After
+        acceptance a connection loss is surfaced as :class:`ServiceError`:
+        the server has cancelled our pending work on disconnect, and the
+        caller decides whether to retry the whole plan (a retry is cheap —
+        completed digests are served from the daemon's memo).
+        """
+
+        for attempt in range(self.connect_retries + 1):
+            if self._sock is None:
+                self.connect()
+            try:
+                sid = self.submit_nowait(requests)
+            except ServiceError:
+                if attempt == self.connect_retries:
+                    raise
+                self.close()
+                continue
+            accepted = False
+            while True:
+                try:
+                    event = self.read_event()
+                except ServiceError:
+                    if accepted or attempt == self.connect_retries:
+                        raise
+                    self.close()
+                    break
+                if event.get("id") not in (None, sid):
+                    continue
+                if on_event is not None:
+                    on_event(event)
+                kind = event.get("type")
+                if kind == "accepted":
+                    accepted = True
+                elif kind == "done":
+                    return event
+                elif kind == "error":
+                    raise ServiceError(f"service rejected submission: {event.get('message')}")
+            # fell out of the read loop pre-acceptance: reconnect + resubmit
+        raise ServiceError("submission retries exhausted")  # pragma: no cover
+
+    def server_stats(self) -> dict[str, Any]:
+        self._send({"type": "stats"})
+        while True:
+            event = self.read_event()
+            if event.get("type") == "stats":
+                return event
+
+    def ping(self) -> None:
+        self._send({"type": "ping"})
+        while True:
+            if self.read_event().get("type") == "pong":
+                return
+
+    def shutdown_server(self) -> None:
+        """Ask the daemon to drain and exit (best-effort)."""
+
+        try:
+            self._send({"type": "shutdown"})
+            while True:
+                if self.read_event().get("type") == "draining":
+                    return
+        except ServiceError:
+            pass
+
+
+# -------------------------------------------------------- engine-level API
+
+
+def _outcome_error(request: SimRequest, outcome: dict[str, Any]) -> str:
+    return outcome.get("failure") or f"{request.workload}/{request.mode}: service failure"
+
+
+def run_plan(
+    client: ServiceClient,
+    plan: SimPlan,
+    *,
+    on_event: Optional[EventCallback] = None,
+) -> BatchResult:
+    """Execute ``plan`` through the service; results keyed by local digests.
+
+    Outcomes are positional in the wire protocol, so the mapping back to
+    local digests never depends on client and server computing identical
+    content hashes (they may run different source revisions).
+    """
+
+    requests = list(plan)
+    batch = BatchResult()
+    stats = batch.stats
+    stats.runner = "service"
+    stats.submitted = plan.submitted
+    stats.unique = len(requests)
+    stats.deduplicated = stats.submitted - stats.unique
+    if not requests:
+        return batch
+
+    done = client.submit(requests, on_event=on_event)
+    outcomes = done.get("outcomes")
+    if not isinstance(outcomes, list) or len(outcomes) != len(requests):
+        raise ServiceProtocolError(
+            f"service returned {len(outcomes) if isinstance(outcomes, list) else 'no'} "
+            f"outcomes for {len(requests)} requests"
+        )
+    remote = done.get("stats", {})
+    # The daemon distinguishes its own reuse tiers (memo, disk cache, joined
+    # in-flight work); locally they are all avoided simulations.
+    stats.memo_hits = int(remote.get("memo_hits", 0))
+    stats.cache_hits = int(remote.get("cache_hits", 0))
+    stats.deduplicated += int(remote.get("joined", 0))
+    stats.executed = int(remote.get("executed", 0))
+
+    for request, outcome in zip(requests, outcomes):
+        status = outcome.get("status")
+        if status == "ok":
+            batch.results[request.digest] = SimulationResult.from_dict(outcome["result"])
+        elif status == "unavailable":
+            batch.skipped.add(request.digest)
+            stats.unavailable += 1
+        elif status == "failed":
+            label = _outcome_error(request, outcome)
+            batch.skipped.add(request.digest)
+            batch.failures[request.digest] = label
+            stats.failed += 1
+            stats.failures[label] = stats.failures.get(label, 0) + 1
+        else:
+            raise ServiceProtocolError(f"unknown outcome status {status!r}")
+    return batch
+
+
+class ServiceEngine:
+    """Drop-in :class:`~repro.sim.engine.SimEngine` facade over a daemon.
+
+    Presents the same ``run(plan)`` / ``simulate(request)`` / lifetime
+    ``stats`` surface, so report drivers take ``--service ADDR`` without
+    special-casing.
+    """
+
+    def __init__(self, address: str, *, timeout: Optional[float] = 600.0) -> None:
+        self.address = address
+        self.client = ServiceClient(address, timeout=timeout)
+        self.stats = EngineStats(runner="service")
+
+    def run(self, plan: SimPlan, *, progress: bool = False) -> BatchResult:
+        on_event: Optional[EventCallback] = None
+        if progress:
+            def on_event(event: dict[str, Any]) -> None:
+                if event.get("type") == "progress":
+                    print(
+                        f"  [service] {event['completed']}/{event['total']} resolved",
+                        file=sys.stderr,
+                    )
+        batch = run_plan(self.client, plan, on_event=on_event)
+        self.stats.merge(batch.stats)
+        return batch
+
+    def simulate(self, request: SimRequest) -> Optional[SimulationResult]:
+        batch = self.run(SimPlan([request]))
+        return batch.get(request)
+
+    def close(self) -> None:
+        self.client.close()
+
+
+# ------------------------------------------------------------ local daemon
+
+
+def spawn_local_daemon(
+    *,
+    workers: int = 2,
+    cache_dir: Optional[str] = None,
+    trace_store: Optional[str] = "off",
+    extra_args: Sequence[str] = (),
+    startup_timeout: float = 60.0,
+) -> tuple[subprocess.Popen, str]:
+    """Start ``python -m repro.service`` and wait for its address line.
+
+    Returns ``(process, address)``.  The caller owns the process (terminate
+    or :meth:`ServiceClient.shutdown_server` when done).  Used by the smoke
+    tool and the SIGTERM-drain test; ``trace_store`` defaults to ``"off"``
+    so spawning a daemon never touches the per-user store.
+    """
+
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src_root = os.path.dirname(package_root)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    command = [sys.executable, "-m", "repro.service", "--workers", str(workers)]
+    if cache_dir is not None:
+        command += ["--cache", cache_dir]
+    if trace_store is not None:
+        command += ["--trace-store", trace_store]
+    command += list(extra_args)
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env
+    )
+    assert process.stdout is not None
+    deadline = time.monotonic() + startup_timeout
+    line = b""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if line:
+            break
+        if process.poll() is not None:
+            raise ServiceError(
+                f"service daemon exited during startup (code {process.returncode})"
+            )
+    try:
+        announcement = json.loads(line)
+        if announcement.get("event") != "listening":
+            raise ValueError(announcement)
+        address = announcement["address"]
+    except (ValueError, KeyError) as error:
+        process.terminate()
+        raise ServiceError(f"bad daemon announcement {line!r}") from error
+    return process, address

@@ -15,10 +15,10 @@ discovering the unavailability would cost.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Optional, Union
 
+from ...atomicio import atomic_write_bytes, sweep_dead_writer_tmp_files
 from ..results import SimulationResult
 from .request import SimRequest
 
@@ -33,18 +33,6 @@ class _Unavailable:
 UNAVAILABLE = _Unavailable()
 
 CachedValue = Union[SimulationResult, _Unavailable]
-
-
-def _pid_alive(pid: int) -> bool:
-    """Best-effort liveness probe for the pid embedded in a temp-file name."""
-
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except (PermissionError, OSError):  # exists but owned elsewhere / platform quirk
-        return True
-    return True
 
 
 class ResultCache:
@@ -86,36 +74,16 @@ class ResultCache:
         self._write(request, {"request": request.describe(), "unavailable": True})
 
     def _write(self, request: SimRequest, payload: dict) -> None:
-        # Write-then-rename keeps concurrent readers (and parallel runs
-        # sharing one cache directory) from ever seeing a partial file.
+        # Atomic write-then-rename with per-write temp names: concurrent
+        # readers never see a partial file, and concurrent writers of the
+        # same digest — parallel runs sharing the directory, or the service
+        # daemon's handlers within one process — never share a temp file
+        # (see :mod:`repro.atomicio` for the race this closes).
         if not self._swept_orphans:
             self._swept_orphans = True
-            self._sweep_orphan_tmp_files()
-        path = self._path(request.digest)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
-        os.replace(tmp, path)
-
-    def _sweep_orphan_tmp_files(self) -> None:
-        """Remove ``*.tmp.<pid>`` leftovers whose writer process is gone.
-
-        A run killed between the temp-file write and the rename leaves its
-        temp file behind forever.  Temp files belonging to a live process
-        (a concurrent run sharing this cache directory) are left alone.
-        """
-
-        for stale in self.directory.glob("*.tmp.*"):
-            pid_text = stale.suffix.lstrip(".")
-            if not pid_text.isdigit():
-                continue
-            pid = int(pid_text)
-            if pid == os.getpid() or _pid_alive(pid):
-                continue
-            try:
-                stale.unlink()
-            except OSError:  # pragma: no cover - lost a race with another sweeper
-                pass
+            sweep_dead_writer_tmp_files(self.directory)
+        data = json.dumps(payload, indent=1, sort_keys=True).encode("utf-8")
+        atomic_write_bytes(self._path(request.digest), data)
 
     def __contains__(self, digest: str) -> bool:
         return self._path(digest).exists()

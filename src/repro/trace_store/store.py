@@ -32,6 +32,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Optional, Union
 
+from ..atomicio import atomic_write_bytes, sweep_dead_writer_tmp_files
 from ..errors import TraceStoreError
 from .artifact import TraceArtifact
 from .format import (
@@ -128,18 +129,6 @@ def trace_digest(workload: str, variant: str, scale: str, seed: int) -> str:
 # ------------------------------------------------------------------- store
 
 
-def _pid_alive(pid: int) -> bool:
-    """Best-effort liveness probe for the pid embedded in a temp-file name."""
-
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except (PermissionError, OSError):  # exists but owned elsewhere / platform quirk
-        return True
-    return True
-
-
 @dataclass(frozen=True)
 class StoreEntry:
     """One on-disk artifact, as listed by the maintenance CLI."""
@@ -206,30 +195,14 @@ class TraceStore:
         return digest
 
     def put_bytes(self, digest: str, data: bytes) -> None:
-        # Write-then-rename keeps concurrent readers (and parallel workers
-        # sharing one store directory) from ever seeing a partial file.
+        # Atomic write-then-rename with per-write temp names (see
+        # :mod:`repro.atomicio`): readers never see a partial artifact, and
+        # concurrent same-digest writers — parallel workers or the service
+        # daemon within one process — never share a temp file.
         if not self._swept_orphans:
             self._swept_orphans = True
-            self._sweep_orphan_tmp_files()
-        path = self._path(digest)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_bytes(data)
-        os.replace(tmp, path)
-
-    def _sweep_orphan_tmp_files(self) -> None:
-        """Remove ``*.tmp.<pid>`` leftovers whose writer process is gone."""
-
-        for stale in self.directory.glob("*.tmp.*"):
-            pid_text = stale.suffix.lstrip(".")
-            if not pid_text.isdigit():
-                continue
-            pid = int(pid_text)
-            if pid == os.getpid() or _pid_alive(pid):
-                continue
-            try:
-                stale.unlink()
-            except OSError:  # pragma: no cover - lost a race with another sweeper
-                pass
+            sweep_dead_writer_tmp_files(self.directory)
+        atomic_write_bytes(self._path(digest), data)
 
     # ----------------------------------------------------------- maintenance
 

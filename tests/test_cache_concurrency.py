@@ -1,0 +1,231 @@
+"""Concurrency stress tests for the on-disk caches' atomic writes.
+
+The historical implementation named its temp files ``<entry>.tmp.<pid>`` —
+unique across processes but *not* within one.  Two same-process writers of
+one digest (a service daemon's completion handler racing a submission
+handler, or two pool callbacks) would interleave bytes in a shared temp
+file and race the rename; the loser raised ``FileNotFoundError`` and a
+corrupt interleaving could win.  These tests hammer a single digest from
+many threads and many processes and assert that every read parses and no
+temp litter survives, plus pin the dead-writer sweep semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.atomicio import atomic_write_bytes, sweep_dead_writer_tmp_files, writer_pid
+from repro.config import SystemConfig
+from repro.sim.engine import UNAVAILABLE, ResultCache, SimRequest
+from repro.sim.results import SimulationResult
+from repro.trace_store import TraceStore
+
+HAMMER_ITERATIONS = 40
+WRITERS = 8
+
+
+def make_request(seed: int = 1) -> SimRequest:
+    return SimRequest(
+        workload="intsort", mode="none", scale="tiny", seed=seed,
+        config=SystemConfig.scaled(),
+    )
+
+
+def make_result(cycles: float) -> SimulationResult:
+    return SimulationResult(
+        workload="intsort", mode="none", cycles=cycles, instructions=1000
+    )
+
+
+def tmp_litter(directory: Path) -> list[Path]:
+    return sorted(directory.glob("*.tmp.*"))
+
+
+# ------------------------------------------------------- same-process races
+
+
+def test_result_cache_same_digest_hammered_from_threads(tmp_path):
+    """8 threads × 40 writes of one digest: no exceptions, reads always parse.
+
+    Under the old per-pid temp naming every thread shared one temp path, so
+    this test raced ``os.replace`` into ``FileNotFoundError`` and could
+    publish interleaved bytes.
+    """
+
+    cache = ResultCache(tmp_path)
+    request = make_request()
+    errors: list[BaseException] = []
+    valid_cycles = {float(t * 1000 + i) for t in range(WRITERS) for i in range(HAMMER_ITERATIONS)}
+
+    def hammer(thread_index: int) -> None:
+        try:
+            for i in range(HAMMER_ITERATIONS):
+                cache.put(request, make_result(float(thread_index * 1000 + i)))
+                found = cache.get(request.digest)
+                assert found is not None and found is not UNAVAILABLE
+                assert found.cycles in valid_cycles
+        except BaseException as error:  # pragma: no cover - the failure path
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=hammer, args=(index,)) for index in range(WRITERS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert errors == [], errors
+    final = cache.get(request.digest)
+    assert final is not None and final.cycles in valid_cycles
+    assert tmp_litter(tmp_path) == []
+
+
+def _hammer_cache_process(args) -> str:
+    directory, writer_index = args
+    cache = ResultCache(directory)
+    request = make_request()
+    for i in range(HAMMER_ITERATIONS):
+        cache.put(request, make_result(float(writer_index * 1000 + i)))
+        found = cache.get(request.digest)
+        assert found is not None
+    return "ok"
+
+
+def test_result_cache_same_digest_hammered_from_processes(tmp_path):
+    """8 processes × 40 writes of one digest: atomic last-write-wins."""
+
+    with multiprocessing.get_context("fork").Pool(WRITERS) as pool:
+        outcomes = pool.map(
+            _hammer_cache_process, [(str(tmp_path), index) for index in range(WRITERS)]
+        )
+    assert outcomes == ["ok"] * WRITERS
+
+    cache = ResultCache(tmp_path)
+    final = cache.get(make_request().digest)
+    assert final is not None
+    assert final.cycles in {
+        float(w * 1000 + i) for w in range(WRITERS) for i in range(HAMMER_ITERATIONS)
+    }
+    assert tmp_litter(tmp_path) == []
+    # The published file is well-formed JSON, not an interleaving.
+    (entry,) = [p for p in tmp_path.iterdir() if p.suffix == ".json"]
+    json.loads(entry.read_text())
+
+
+def _hammer_store_process(args) -> str:
+    directory, writer_index = args
+    store = TraceStore(directory)
+    payload = bytes([writer_index]) * 4096
+    for _ in range(HAMMER_ITERATIONS):
+        store.put_bytes("deadbeef" * 8, payload)
+        read = store.get_bytes("deadbeef" * 8)
+        assert read is not None
+        # Reads must be a complete payload from *some* writer, never a mix.
+        assert len(set(read)) == 1 and len(read) == 4096
+    return "ok"
+
+
+def test_trace_store_same_digest_hammered_from_processes(tmp_path):
+    with multiprocessing.get_context("fork").Pool(WRITERS) as pool:
+        outcomes = pool.map(
+            _hammer_store_process, [(str(tmp_path), index) for index in range(WRITERS)]
+        )
+    assert outcomes == ["ok"] * WRITERS
+    store = TraceStore(tmp_path)
+    final = store.get_bytes("deadbeef" * 8)
+    assert final is not None and len(set(final)) == 1 and len(final) == 4096
+    assert tmp_litter(tmp_path) == []
+
+
+def test_atomic_write_same_path_from_threads_yields_complete_file(tmp_path):
+    target = tmp_path / "entry.json"
+    payloads = [bytes([index]) * 8192 for index in range(WRITERS)]
+    errors: list[BaseException] = []
+
+    def hammer(index: int) -> None:
+        try:
+            for _ in range(HAMMER_ITERATIONS):
+                atomic_write_bytes(target, payloads[index])
+                data = target.read_bytes()
+                assert len(data) == 8192 and len(set(data)) == 1
+        except BaseException as error:  # pragma: no cover
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer, args=(i,)) for i in range(WRITERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert tmp_litter(tmp_path) == []
+
+
+# ------------------------------------------------------- dead-writer sweep
+
+
+def _dead_pid() -> int:
+    """A pid guaranteed to be dead: a child we spawned and reaped."""
+
+    child = subprocess.Popen([sys.executable, "-c", "pass"])
+    child.wait()
+    return child.pid
+
+
+def test_sweep_removes_dead_writer_files_and_keeps_live_ones(tmp_path):
+    dead = _dead_pid()
+    live = os.getpid()
+    dead_modern = tmp_path / f"entry.json.tmp.{dead}.140210.7"
+    dead_legacy = tmp_path / f"entry.json.tmp.{dead}"
+    live_modern = tmp_path / f"entry.json.tmp.{live}.140210.8"
+    unparsable = tmp_path / "entry.json.tmp.not-a-pid"
+    for stale in (dead_modern, dead_legacy, live_modern, unparsable):
+        stale.write_bytes(b"partial")
+
+    assert writer_pid(dead_modern) == dead
+    assert writer_pid(dead_legacy) == dead
+    assert writer_pid(unparsable) is None
+
+    removed = sweep_dead_writer_tmp_files(tmp_path)
+    assert removed == 2
+    assert not dead_modern.exists()
+    assert not dead_legacy.exists()
+    assert live_modern.exists()  # live writer mid-rename: untouchable
+    assert unparsable.exists()  # unknown provenance: never guess
+
+
+def test_result_cache_sweeps_dead_writer_litter_on_first_write(tmp_path):
+    dead = _dead_pid()
+    litter = tmp_path / f"aaaa.json.tmp.{dead}"
+    tmp_path.mkdir(exist_ok=True)
+    litter.write_bytes(b"partial")
+
+    cache = ResultCache(tmp_path)
+    cache.put(make_request(), make_result(1.0))
+    assert not litter.exists()
+    assert tmp_litter(tmp_path) == []
+
+
+def test_trace_store_sweeps_dead_writer_litter_on_first_write(tmp_path):
+    dead = _dead_pid()
+    store = TraceStore(tmp_path)
+    litter = Path(store.directory) / f"bbbb.trace.tmp.{dead}"
+    litter.write_bytes(b"partial")
+
+    store.put_bytes("cafe" * 16, b"payload")
+    assert not litter.exists()
+
+
+def test_failed_write_cleans_its_own_temp_file(tmp_path):
+    target = tmp_path / "missing-dir" / "entry.json"
+    with pytest.raises(OSError):
+        atomic_write_bytes(target, b"data")
+    assert tmp_litter(tmp_path) == []

@@ -1,0 +1,236 @@
+"""Fault-injection tests: worker crashes, client disconnects, SIGTERM drain.
+
+All synchronisation is via protocol events, marker files, and bounded
+polling of *state the daemon reports* — never via sleeps that assume an
+ordering.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import time
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.service import ServiceClient, spawn_local_daemon
+from repro.service.protocol import request_to_wire
+from repro.sim.engine import SimRequest
+
+from service_utils import SVC_TEST_DIR_ENV, ServerThread, registered_test_workloads
+
+
+@pytest.fixture
+def svc_dir(tmp_path, monkeypatch):
+    directory = tmp_path / "svc"
+    directory.mkdir()
+    monkeypatch.setenv(SVC_TEST_DIR_ENV, str(directory))
+    return directory
+
+
+def request_for(workload: str, seed: int) -> SimRequest:
+    return SimRequest(
+        workload=workload,
+        mode="none",
+        scale="tiny",
+        seed=seed,
+        config=SystemConfig.scaled(),
+    )
+
+
+def read_until(client: ServiceClient, kind: str, sid=None) -> dict:
+    while True:
+        event = client.read_event()
+        if event.get("type") == kind and (sid is None or event.get("id") == sid):
+            return event
+
+
+def wait_for_counter(address: str, key: str, value: int, timeout: float = 30.0) -> dict:
+    """Poll server stats until ``stats[key] >= value`` (bounded)."""
+
+    deadline = time.monotonic() + timeout
+    with ServiceClient(address) as probe:
+        while True:
+            counters = probe.server_stats()
+            if counters.get(key, 0) >= value:
+                return counters
+            assert time.monotonic() < deadline, (
+                f"server counter {key!r} never reached {value}: {counters}"
+            )
+            time.sleep(0.01)
+
+
+# ------------------------------------------------------------ worker crash
+
+
+def test_worker_crash_requeues_chunk_and_completes(svc_dir):
+    """A SIGKILLed worker's chunk is requeued and succeeds on retry."""
+
+    with registered_test_workloads():
+        with ServerThread(workers=1) as daemon:
+            with ServiceClient(daemon.address, timeout=120.0) as client:
+                sid = client.submit_nowait([request_for("svccrashonce", seed=301)])
+                read_until(client, "accepted", sid)
+                requeued = read_until(client, "chunk-requeued", sid)
+                assert requeued["attempt"] == 1
+                done = read_until(client, "done", sid)
+            counters = wait_for_counter(daemon.address, "crashes", 1)
+
+    (outcome,) = done["outcomes"]
+    assert outcome["status"] == "ok", outcome
+    assert outcome["result"]["workload"] == "svccrashonce"
+    assert counters["crashes"] >= 1
+    assert counters["requeued"] >= 1
+    assert counters["executed"] == 1
+    # The crash marker proves the first attempt really died mid-build.
+    assert os.path.exists(svc_dir / "crashed-301")
+
+
+def test_persistent_crash_fails_cleanly_and_pool_recovers(svc_dir):
+    """Attempts exhausted → labelled failure; the daemon stays healthy."""
+
+    with registered_test_workloads():
+        with ServerThread(workers=1, max_attempts=2) as daemon:
+            with ServiceClient(daemon.address, timeout=120.0) as client:
+                sid = client.submit_nowait([request_for("svccrashalways", seed=302)])
+                read_until(client, "accepted", sid)
+                done = read_until(client, "done", sid)
+
+                (outcome,) = done["outcomes"]
+                assert outcome["status"] == "failed"
+                assert "worker crashed" in outcome["failure"]
+                assert done["stats"]["failed"] == 1
+
+                # Failures are not memoised and the pool was rebuilt: a
+                # healthy submission on the same connection still works.
+                sid2 = client.submit_nowait([request_for("svccrashonce", seed=303)])
+                read_until(client, "accepted", sid2)
+                done2 = read_until(client, "done", sid2)
+                (outcome2,) = done2["outcomes"]
+                assert outcome2["status"] == "ok"
+
+            counters = wait_for_counter(daemon.address, "failed", 1)
+    assert counters["failed"] == 1
+    assert any("worker crashed" in label for label in counters["failures"])
+
+
+# ------------------------------------------------------- client disconnect
+
+
+def test_disconnect_cancels_unique_work_but_not_shared(svc_dir):
+    """Disconnect drops the client's queued unique work; joined work runs on."""
+
+    shared = request_for("svcgate", seed=311)
+    unique = request_for("svcgate", seed=312)
+    hold = svc_dir / "hold-311"
+    hold.touch()
+    with registered_test_workloads():
+        with ServerThread(workers=1) as daemon:
+            leaver = ServiceClient(daemon.address, timeout=120.0)
+            stayer = ServiceClient(daemon.address, timeout=120.0)
+
+            # Two workload groups → two chunks; the shared one is gated and
+            # occupies the only worker, the unique one sits in the queue.
+            sid_l = leaver.submit_nowait([shared, unique])
+            accepted = read_until(leaver, "accepted", sid_l)
+            assert accepted["chunks"] == 2
+            read_until(leaver, "chunk-started", sid_l)
+
+            sid_s = stayer.submit_nowait([shared])
+            accepted_s = read_until(stayer, "accepted", sid_s)
+            assert accepted_s["joined"] == 1
+
+            # The leaver vanishes mid-stream.  Its unique queued request
+            # must be cancelled; the shared in-flight one survives for the
+            # stayer.
+            leaver.close()
+            counters = wait_for_counter(daemon.address, "cancelled", 1)
+            assert counters["cancelled"] == 1
+
+            hold.unlink()
+            done = read_until(stayer, "done", sid_s)
+            (outcome,) = done["outcomes"]
+            assert outcome["status"] == "ok"
+
+            final = wait_for_counter(daemon.address, "executed", 1)
+            stayer.close()
+
+    # Only the shared digest executed; the orphaned unique one never ran.
+    assert final["executed"] == 1
+    assert final["cancelled"] == 1
+
+
+# ------------------------------------------------------------ SIGTERM drain
+
+
+def test_sigterm_drains_in_flight_work_before_exit(tmp_path):
+    """SIGTERM mid-run: the pending submission completes, then the daemon exits."""
+
+    process, address = spawn_local_daemon(workers=1, trace_store="off")
+    try:
+        client = ServiceClient(address, timeout=300.0)
+        requests = [
+            SimRequest(workload="intsort", mode=m, scale="tiny", seed=42,
+                       config=SystemConfig.scaled())
+            for m in ("none", "stride")
+        ]
+        sid = client.submit_nowait(requests)
+        read_until(client, "accepted", sid)
+        read_until(client, "chunk-started", sid)
+
+        # Work is in flight *now*; ask for termination.
+        process.send_signal(signal.SIGTERM)
+
+        done = read_until(client, "done", sid)
+        assert [o["status"] for o in done["outcomes"]] == ["ok", "ok"]
+
+        # After the drain the daemon closes connections and exits cleanly.
+        with pytest.raises(Exception):
+            while True:
+                client.read_event()
+        client.close()
+        assert process.wait(timeout=60) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+
+def test_draining_daemon_rejects_new_submissions(svc_dir):
+    """Submissions arriving during a drain get an error, not silence."""
+
+    hold = svc_dir / "hold-321"
+    hold.touch()
+    with registered_test_workloads():
+        daemon = ServerThread(workers=1)
+        with daemon:
+            client = ServiceClient(daemon.address, timeout=120.0)
+            sid = client.submit_nowait([request_for("svcgate", seed=321)])
+            read_until(client, "accepted", sid)
+            read_until(client, "chunk-started", sid)
+
+            # Connect the late client *before* the drain: once draining
+            # begins the listener is closed, so fresh connections are
+            # refused outright — only already-connected clients can still
+            # submit (and must be told no).
+            late = ServiceClient(daemon.address, timeout=120.0)
+
+            # Start the drain while the gated chunk runs, from a second
+            # connection (the drain leaves existing connections alive until
+            # their work completes).
+            drainer = ServiceClient(daemon.address, timeout=120.0)
+            drainer.shutdown_server()
+
+            late_sid = late.submit_nowait([request_for("svcgate", seed=322)])
+            error = read_until(late, "error", late_sid)
+            assert "draining" in error["message"]
+            late.close()
+            drainer.close()
+
+            hold.unlink()
+            done = read_until(client, "done", sid)
+            (outcome,) = done["outcomes"]
+            assert outcome["status"] == "ok"
+            client.close()
