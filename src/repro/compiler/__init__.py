@@ -23,10 +23,16 @@ the same role the paper's source code plus annotations plays.
   (Algorithm 1).
 * :mod:`repro.compiler.pragma` — the pragma pass, which discovers
   stride-indirect chains without software-prefetch hints.
+* :mod:`repro.compiler.frontend` — restricted-Python front end: a plain
+  traversal function parsed (never executed) into the loop IR.
+* :mod:`repro.compiler.pipeline` — the registry-facing derivation pipeline
+  that turns a hinted loop into the ``manual``-mode configuration
+  (the ``compiled`` kernel source).
 """
 
 from .codegen import CompiledPrefetchProgram
 from .convert import convert_software_prefetches
+from .frontend import parse_loop
 from .ir import (
     ArrayDecl,
     BinOp,
@@ -36,10 +42,12 @@ from .ir import (
     Load,
     Loop,
     Param,
+    PointerChaseStmt,
     SoftwarePrefetchStmt,
     StoreStmt,
     Value,
 )
+from .pipeline import DerivedKernels, derive_manual_configuration
 from .pragma import generate_from_pragma
 
 __all__ = [
@@ -51,10 +59,14 @@ __all__ = [
     "Load",
     "Loop",
     "Param",
+    "PointerChaseStmt",
     "SoftwarePrefetchStmt",
     "StoreStmt",
     "Value",
     "CompiledPrefetchProgram",
+    "DerivedKernels",
     "convert_software_prefetches",
+    "derive_manual_configuration",
     "generate_from_pragma",
+    "parse_loop",
 ]

@@ -130,10 +130,18 @@ def generate_configuration(
     *,
     kernel_prefix: str,
     default_distance: int = 4,
+    configuration: Optional[PrefetcherConfiguration] = None,
 ) -> CompiledPrefetchProgram:
-    """Emit kernels and configuration for ``chains`` of ``loop``."""
+    """Emit kernels and configuration for ``chains`` of ``loop``.
 
-    configuration = PrefetcherConfiguration()
+    ``configuration`` lets a caller pre-populate the target configuration
+    (the manual derivation pipeline registers pointer-chase walker kernels
+    and their tags first, so a chain's final prefetch can re-trigger them);
+    by default a fresh configuration is created.
+    """
+
+    if configuration is None:
+        configuration = PrefetcherConfiguration()
     program = CompiledPrefetchProgram(loop_name=loop.name, configuration=configuration)
 
     for chain_index, chain in enumerate(chains):
@@ -179,8 +187,13 @@ def _generate_chain(
 
     steps = chain.steps
     root = steps[0]
-    stream_name = f"{kernel_prefix}_c{chain_index}"
-    seed_distance = chain.root_distance if chain.root_distance > 0 else default_distance
+    stream_name = (
+        chain.stream_name if chain.stream_name is not None else f"{kernel_prefix}_c{chain_index}"
+    )
+    if chain.distance_hint is not None:
+        seed_distance = chain.distance_hint
+    else:
+        seed_distance = chain.root_distance if chain.root_distance > 0 else default_distance
     configuration.add_stream(stream_name, default_distance=seed_distance)
 
     # Global registers: every array base plus every parameter used in index
@@ -219,6 +232,10 @@ def _generate_chain(
                 stream=stream_name,
                 chain_end=False,
             )
+        elif chain.final_tag is not None:
+            # The chain feeds a pre-registered follow-on kernel (a pointer-
+            # chase walker): tag the final prefetch so its fill re-triggers.
+            next_tag = chain.final_tag
 
         if step_index == 0:
             _emit_root_kernel(
@@ -244,7 +261,7 @@ def _generate_chain(
     # Chain-end entry for the final array, when its bounds are known, so the
     # chain-latency EWMA gets its samples.
     final = steps[-1]
-    if len(steps) > 1:
+    if len(steps) > 1 and not chain.suppress_chain_end:
         try:
             final_bounds = infer_bounds(final.array, loop, bindings, allow_trip_count=False)
         except CompilationError:

@@ -1,0 +1,458 @@
+"""Restricted-Python front end: a plain traversal function → loop IR.
+
+Workloads no longer need to build :mod:`repro.compiler.ir` graphs by hand;
+they write the traversal loop body as an ordinary Python function and
+:func:`parse_loop` turns it into a :class:`~repro.compiler.ir.Loop`::
+
+    from repro.compiler.frontend import compute, parse_loop, prefetch
+
+    def traversal(j, col_idx, vals, x):
+        prefetch(x[col_idx[j + 16]], stream="spmv_col_idx", distance=8)
+        gather = x[col_idx[j]]
+        value = vals[j]
+        compute(2, gather, value)
+
+    loop = parse_loop(traversal, name="spmv", arrays=[...], ...)
+
+The function is **parsed, never executed** — ``prefetch`` and ``compute``
+exist only so the traversal reads as normal Python.  The first parameter is
+the loop induction variable; every further parameter names a declared array.
+
+Supported statement forms (anything else raises
+:class:`~repro.errors.CompilationError` with the offending line):
+
+``prefetch(array[index], distance=…, stream=…, chain_end=…, name=…)``
+    A software prefetch.  The keyword hints become the corresponding
+    :class:`~repro.compiler.ir.SoftwarePrefetchStmt` hint fields, which the
+    derivation pipeline honours and the conversion/pragma passes ignore.
+
+``name = array[index]`` / bare ``array[index]``
+    A demand load.  Assignment binds the loaded value to ``name``; later uses
+    of ``name`` share the same IR node, exactly like an SSA value.
+
+``compute(n, value, …)``
+    ``n`` arithmetic instructions consuming previously bound loads.
+
+``for v in range(start, end): …``
+    A data-dependent inner loop (an edge walk).  Loads in the body are marked
+    control-dependent — out of reach of both compiler passes — and ``v`` is
+    bound to the lowered ``start`` expression, preserving the dependence
+    chain through the bound.  ``end`` is control flow only and is discarded.
+
+``while array[x] != x: x = array[x]``
+    A pointer chase to a self-rooted element.  Lowered to a
+    control-dependent load of ``array[x]`` plus a
+    :class:`~repro.compiler.ir.PointerChaseStmt`, which the derivation
+    pipeline turns into a self-re-triggering walker kernel.
+
+Index expressions may use the induction variable, integer constants, bound
+load values, nested subscripts (producing a fresh
+:class:`~repro.compiler.ir.Load` per occurrence) and the operators
+``+ - * & | ^ << >>``; any other name is treated as a loop-invariant
+:class:`~repro.compiler.ir.Param` (hash masks, table sizes, …).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+from ..errors import CompilationError
+from .ir import (
+    ArrayDecl,
+    BinOp,
+    ComputeStmt,
+    Constant,
+    IndexVar,
+    Load,
+    LoadStmt,
+    Loop,
+    Param,
+    PointerChaseStmt,
+    SoftwarePrefetchStmt,
+    Value,
+)
+
+# ------------------------------------------------------------------- markers
+
+
+def prefetch(target, *, distance=None, stream=None, chain_end=None, name=None):  # pragma: no cover
+    """Marker for a software prefetch inside a traversal function.
+
+    Only meaningful to :func:`parse_loop`; calling it at run time is an error
+    because traversal functions are parsed, never executed.
+    """
+
+    raise CompilationError(
+        "prefetch() marks a software prefetch inside a traversal function; "
+        "traversal functions are parsed by parse_loop(), not executed"
+    )
+
+
+def compute(count, *values):  # pragma: no cover
+    """Marker for arithmetic work inside a traversal function."""
+
+    raise CompilationError(
+        "compute() marks arithmetic work inside a traversal function; "
+        "traversal functions are parsed by parse_loop(), not executed"
+    )
+
+
+_BINOPS: dict[type, str] = {
+    ast.Add: "add",
+    ast.Sub: "sub",
+    ast.Mult: "mul",
+    ast.BitAnd: "and",
+    ast.BitOr: "or",
+    ast.BitXor: "xor",
+    ast.LShift: "shl",
+    ast.RShift: "shr",
+}
+
+
+# -------------------------------------------------------------------- parsing
+
+
+def parse_loop(
+    traversal: Union[Callable, str],
+    *,
+    name: str,
+    arrays: Sequence[ArrayDecl],
+    trip_count_param: Optional[str] = None,
+    pragma_prefetch: bool = False,
+    constants: Optional[Mapping[str, int]] = None,
+) -> Loop:
+    """Parse a traversal function (or its source) into a :class:`Loop`.
+
+    Args:
+        traversal: The traversal function, or its source code as a string.
+        name: Loop name (diagnostics and kernel prefixes).
+        arrays: Declarations for every array the traversal touches; each
+            array parameter of the function must match one by name.
+        trip_count_param: Parameter holding the loop trip count.
+        pragma_prefetch: Mark the loop as ``#pragma prefetch`` annotated.
+        constants: Names lowered to compile-time constants (e.g. a module's
+            ``SOFTWARE_PREFETCH_DISTANCE``) rather than runtime parameters.
+
+    Returns:
+        The lowered loop.  ``has_irregular_control_flow`` is set
+        automatically when the body contains a ``for``/``while``.
+    """
+
+    function = _function_def(traversal)
+    parameters = [arg.arg for arg in function.args.args]
+    if not parameters:
+        raise CompilationError(
+            f"traversal {function.name!r} needs at least the induction-variable parameter"
+        )
+    arrays_by_name = {array.name: array for array in arrays}
+    if len(arrays_by_name) != len(arrays):
+        raise CompilationError("duplicate array declarations")
+    for parameter in parameters[1:]:
+        if parameter not in arrays_by_name:
+            raise CompilationError(
+                f"traversal {function.name!r}: parameter {parameter!r} does not match "
+                f"any declared array (expected one of {sorted(arrays_by_name)})"
+            )
+
+    loop = Loop(
+        name,
+        IndexVar(parameters[0]),
+        trip_count_param=trip_count_param,
+        arrays=list(arrays),
+        pragma_prefetch=pragma_prefetch,
+    )
+    parser = _LoopParser(loop, arrays_by_name, constants=constants)
+    parser.parse_block(function.body, control_dependent=False)
+    return loop
+
+
+def _function_def(traversal: Union[Callable, str]) -> ast.FunctionDef:
+    if callable(traversal):
+        try:
+            source = inspect.getsource(traversal)
+        except (OSError, TypeError) as error:
+            raise CompilationError(
+                f"cannot read the source of {traversal!r}; pass the source string instead"
+            ) from error
+    else:
+        source = traversal
+    try:
+        module = ast.parse(textwrap.dedent(source))
+    except SyntaxError as error:
+        raise CompilationError(f"traversal function does not parse: {error}") from error
+    for node in module.body:
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise CompilationError("no function definition found in the traversal source")
+
+
+class _LoopParser:
+    """Lowers the statements of one traversal function body."""
+
+    def __init__(
+        self,
+        loop: Loop,
+        arrays: Mapping[str, ArrayDecl],
+        *,
+        constants: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        self.loop = loop
+        self.arrays = arrays
+        self.constants = dict(constants or {})
+        self.indvar_name = loop.indvar.name
+        #: SSA-style environment: local name → the IR value bound to it.
+        self.bindings: dict[str, Value] = {}
+
+    # ------------------------------------------------------------- statements
+
+    def parse_block(self, statements: Sequence[ast.stmt], *, control_dependent: bool) -> None:
+        for statement in statements:
+            self._parse_statement(statement, control_dependent=control_dependent)
+
+    def _parse_statement(self, statement: ast.stmt, *, control_dependent: bool) -> None:
+        if isinstance(statement, ast.Expr):
+            self._parse_expression_statement(statement.value, control_dependent)
+            return
+        if isinstance(statement, ast.Assign):
+            self._parse_assignment(statement, control_dependent)
+            return
+        if isinstance(statement, ast.For):
+            self._parse_for(statement, control_dependent)
+            return
+        if isinstance(statement, ast.While):
+            self._parse_while(statement, control_dependent)
+            return
+        if isinstance(statement, ast.Pass):
+            return
+        raise self._error(
+            statement,
+            "unsupported statement; traversal bodies may contain prefetch()/compute() "
+            "calls, loads, assignments from loads, for-range edge walks and "
+            "while-pointer-chases",
+        )
+
+    def _parse_expression_statement(self, value: ast.expr, control_dependent: bool) -> None:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return  # docstring
+        if isinstance(value, ast.Call):
+            callee = self._callee(value)
+            if callee == "prefetch":
+                self._parse_prefetch(value, control_dependent)
+                return
+            if callee == "compute":
+                self._parse_compute(value)
+                return
+            raise self._error(
+                value, f"unsupported call {callee!r}; only prefetch() and compute() exist"
+            )
+        if isinstance(value, ast.Subscript):
+            load = self._lower_subscript(value, control_dependent)
+            self.loop.add(LoadStmt(load))
+            return
+        raise self._error(value, "unsupported expression statement")
+
+    def _parse_assignment(self, statement: ast.Assign, control_dependent: bool) -> None:
+        if len(statement.targets) != 1 or not isinstance(statement.targets[0], ast.Name):
+            raise self._error(statement, "assignments must bind exactly one plain name")
+        target = statement.targets[0].id
+        if target in self.arrays or target == self.indvar_name:
+            raise self._error(
+                statement, f"cannot rebind {target!r} (array or induction variable)"
+            )
+        if not isinstance(statement.value, ast.Subscript):
+            raise self._error(
+                statement,
+                "only loads can be bound to names (name = array[index]); other "
+                "arithmetic belongs in compute()",
+            )
+        load = self._lower_subscript(statement.value, control_dependent)
+        self.loop.add(LoadStmt(load))
+        self.bindings[target] = load
+
+    def _parse_prefetch(self, call: ast.Call, control_dependent: bool) -> None:
+        if len(call.args) != 1 or not isinstance(call.args[0], ast.Subscript):
+            raise self._error(
+                call, "prefetch() takes exactly one array[index] positional argument"
+            )
+        array, index = self._subscript_parts(call.args[0], control_dependent)
+        distance: Optional[int] = None
+        stream: Optional[str] = None
+        chain_end: Optional[bool] = None
+        label: Optional[str] = None
+        for keyword in call.keywords:
+            argument = keyword.value
+            if not isinstance(argument, ast.Constant):
+                raise self._error(call, f"prefetch() hint {keyword.arg!r} must be a literal")
+            if keyword.arg == "distance":
+                distance = int(argument.value)
+            elif keyword.arg == "stream":
+                stream = str(argument.value)
+            elif keyword.arg == "chain_end":
+                chain_end = bool(argument.value)
+            elif keyword.arg == "name":
+                label = str(argument.value)
+            else:
+                raise self._error(call, f"unknown prefetch() hint {keyword.arg!r}")
+        self.loop.add(
+            SoftwarePrefetchStmt(
+                array,
+                index,
+                name=label if label is not None else f"swpf_{array.name}",
+                distance_hint=distance,
+                stream=stream,
+                chain_end_range=chain_end,
+            )
+        )
+
+    def _parse_compute(self, call: ast.Call) -> None:
+        if not call.args or not (
+            isinstance(call.args[0], ast.Constant) and isinstance(call.args[0].value, int)
+        ):
+            raise self._error(call, "compute() needs a literal instruction count first")
+        uses: list[Value] = []
+        for argument in call.args[1:]:
+            if not isinstance(argument, ast.Name) or argument.id not in self.bindings:
+                raise self._error(
+                    call, "compute() consumes previously bound load values only"
+                )
+            uses.append(self.bindings[argument.id])
+        self.loop.add(ComputeStmt(int(call.args[0].value), uses=tuple(uses)))
+
+    def _parse_for(self, statement: ast.For, control_dependent: bool) -> None:
+        if not isinstance(statement.target, ast.Name):
+            raise self._error(statement, "for loops must bind a single plain name")
+        call = statement.iter
+        if not (isinstance(call, ast.Call) and self._callee(call) == "range"):
+            raise self._error(statement, "for loops must iterate over range(start, end)")
+        if not 1 <= len(call.args) <= 2 or call.keywords:
+            raise self._error(statement, "range() takes one or two positional bounds")
+        if statement.orelse:
+            raise self._error(statement, "for/else is not supported")
+        # The loop variable carries the dependence chain of the *start* bound
+        # (e.g. edge = row_offsets[frontier[i]]); the end bound is control
+        # flow only and never reaches an address computation.
+        if len(call.args) == 2:
+            start = self._lower_expr(call.args[0], control_dependent)
+        else:
+            start = Constant(0)
+        self.bindings[statement.target.id] = start
+        self.loop.has_irregular_control_flow = True
+        self.parse_block(statement.body, control_dependent=True)
+
+    def _parse_while(self, statement: ast.While, control_dependent: bool) -> None:
+        del control_dependent  # the chase body is control dependent by definition
+        pattern = "while array[x] != x: x = array[x]"
+        test = statement.test
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.NotEq)
+            and isinstance(test.left, ast.Subscript)
+            and isinstance(test.comparators[0], ast.Name)
+        ):
+            raise self._error(statement, f"while loops must be pointer chases: {pattern}")
+        chased = test.comparators[0].id
+        array_node = test.left.value
+        index_node = test.left.slice
+        if not (
+            isinstance(array_node, ast.Name)
+            and isinstance(index_node, ast.Name)
+            and index_node.id == chased
+        ):
+            raise self._error(statement, f"while loops must be pointer chases: {pattern}")
+        body = [node for node in statement.body if not isinstance(node, ast.Pass)]
+        if not (
+            len(body) == 1
+            and isinstance(body[0], ast.Assign)
+            and len(body[0].targets) == 1
+            and isinstance(body[0].targets[0], ast.Name)
+            and body[0].targets[0].id == chased
+            and isinstance(body[0].value, ast.Subscript)
+            and isinstance(body[0].value.value, ast.Name)
+            and body[0].value.value.id == array_node.id
+            and isinstance(body[0].value.slice, ast.Name)
+            and body[0].value.slice.id == chased
+        ):
+            raise self._error(statement, f"while loops must be pointer chases: {pattern}")
+        if statement.orelse:
+            raise self._error(statement, "while/else is not supported")
+        if chased not in self.bindings:
+            raise self._error(
+                statement, f"chase variable {chased!r} must be bound to a load first"
+            )
+        array = self._array(array_node)
+        start = self.bindings[chased]
+        hop = Load(array, start, control_dependent=True)
+        self.loop.add(LoadStmt(hop))
+        self.loop.add(PointerChaseStmt(array, start, name=f"chase_{array.name}"))
+        self.loop.has_irregular_control_flow = True
+        self.bindings[chased] = hop
+
+    # ------------------------------------------------------------ expressions
+
+    def _lower_expr(self, node: ast.expr, control_dependent: bool) -> Value:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return Constant(node.value)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            operand = self._lower_expr(node.operand, control_dependent)
+            if isinstance(operand, Constant):
+                return Constant(-operand.value)
+            raise self._error(node, "negation is only supported on constants")
+        if isinstance(node, ast.Name):
+            if node.id == self.indvar_name:
+                return self.loop.indvar
+            if node.id in self.bindings:
+                return self.bindings[node.id]
+            if node.id in self.constants:
+                return Constant(int(self.constants[node.id]))
+            if node.id in self.arrays:
+                raise self._error(
+                    node, f"bare array reference {node.id!r}; arrays must be subscripted"
+                )
+            return Param(node.id)
+        if isinstance(node, ast.BinOp):
+            for node_type, op in _BINOPS.items():
+                if isinstance(node.op, node_type):
+                    return BinOp(
+                        op,
+                        self._lower_expr(node.left, control_dependent),
+                        self._lower_expr(node.right, control_dependent),
+                    )
+            raise self._error(node, f"unsupported operator {type(node.op).__name__}")
+        if isinstance(node, ast.Subscript):
+            return self._lower_subscript(node, control_dependent)
+        raise self._error(node, f"unsupported expression {type(node).__name__}")
+
+    def _lower_subscript(self, node: ast.Subscript, control_dependent: bool) -> Load:
+        array, index = self._subscript_parts(node, control_dependent)
+        return Load(array, index, control_dependent=control_dependent)
+
+    def _subscript_parts(
+        self, node: ast.Subscript, control_dependent: bool
+    ) -> tuple[ArrayDecl, Value]:
+        array = self._array(node.value)
+        return array, self._lower_expr(node.slice, control_dependent)
+
+    def _array(self, node: ast.expr) -> ArrayDecl:
+        if not (isinstance(node, ast.Name) and node.id in self.arrays):
+            raise self._error(
+                node, "subscripts must index a declared array by its parameter name"
+            )
+        return self.arrays[node.id]
+
+    # ----------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _callee(call: ast.Call) -> str:
+        if isinstance(call.func, ast.Name):
+            return call.func.id
+        if isinstance(call.func, ast.Attribute):
+            return call.func.attr
+        return "<expression>"
+
+    def _error(self, node: ast.AST, message: str) -> CompilationError:
+        line = getattr(node, "lineno", "?")
+        return CompilationError(f"loop {self.loop.name!r}, line {line}: {message}")

@@ -144,12 +144,29 @@ class Statement:
 
 @dataclass(frozen=True)
 class SoftwarePrefetchStmt(Statement):
-    """``SWPF(&array[index])`` in the original source."""
+    """``SWPF(&array[index])`` in the original source.
+
+    The three optional *hint* fields carry programmer knowledge the manual
+    derivation pipeline (:mod:`repro.compiler.pipeline`) honours when it
+    turns this prefetch into a PPU event chain; the conversion and pragma
+    passes ignore them, exactly as a real compiler would ignore tuning
+    attributes it does not implement.
+    """
 
     array: ArrayDecl
     index: Value
     #: Optional label used in diagnostics.
     name: str = "swpf"
+    #: Initial EWMA look-ahead for the derived stream, overriding the
+    #: constant distance found in the index expression (``i + d``).
+    distance_hint: Optional[int] = None
+    #: Explicit name for the derived EWMA stream (the key under which the
+    #: final look-ahead appears in the engine statistics).
+    stream: Optional[str] = None
+    #: ``False`` suppresses the chain-end filter range for the final array
+    #: even when its bounds are known (e.g. when another chain's stream
+    #: already times that structure); ``None`` means automatic.
+    chain_end_range: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -174,6 +191,22 @@ class ComputeStmt(Statement):
 
     count: int = 1
     uses: tuple[Value, ...] = ()
+
+
+@dataclass(frozen=True)
+class PointerChaseStmt(Statement):
+    """``while array[x] != x: x = array[x]`` — a data-dependent pointer chase.
+
+    The chase itself sits behind data-dependent control flow, so neither the
+    conversion nor the pragma pass can express it; the manual derivation
+    pipeline lowers it to a self-re-triggering tagged walker kernel (the
+    union-find pattern: each fill of ``array`` prefetches ``array[value]``
+    until a root, ``array[x] == x``, is observed).
+    """
+
+    array: ArrayDecl
+    start: Value
+    name: str = "chase"
 
 
 # ----------------------------------------------------------------------- loop
@@ -246,6 +279,8 @@ def _statement_values(statement: Statement) -> Iterable[Value]:
         return (statement.load,)
     if isinstance(statement, ComputeStmt):
         return statement.uses
+    if isinstance(statement, PointerChaseStmt):
+        return (statement.start,)
     return ()
 
 

@@ -46,7 +46,14 @@ class ChainStep:
 
 @dataclass
 class PrefetchChain:
-    """A root-first sequence of chain steps plus metadata."""
+    """A root-first sequence of chain steps plus metadata.
+
+    The four hint fields are populated by the manual derivation pipeline
+    (:mod:`repro.compiler.pipeline`) from the software prefetch's hint
+    attributes; chains built by the conversion and pragma passes leave them
+    at their defaults, which keeps those passes' output byte-for-byte what
+    it was before hints existed.
+    """
 
     steps: list[ChainStep] = field(default_factory=list)
     #: Constant look-ahead distance found in the root index (``x + dist``);
@@ -54,6 +61,16 @@ class PrefetchChain:
     root_distance: int = 0
     #: Name of the software prefetch or load that produced the chain.
     source: str = "chain"
+    #: Explicit EWMA stream name (``None``: derive from the kernel prefix).
+    stream_name: Optional[str] = None
+    #: Initial EWMA look-ahead, overriding :attr:`root_distance`.
+    distance_hint: Optional[int] = None
+    #: Skip the chain-end filter range even when the final array's bounds
+    #: are known.
+    suppress_chain_end: bool = False
+    #: Tag for the final step's prefetch, linking the chain into a
+    #: pre-registered follow-on kernel (a pointer-chase walker).
+    final_tag: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.steps)

@@ -98,6 +98,7 @@ def execute_request(
             request.prefetch_mode,
             request.config,
             policy=resolve_policy(request.policy),
+            kernel_source=request.kernel_source,
         )
         return result, None
     except WorkloadError as error:

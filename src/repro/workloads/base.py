@@ -19,12 +19,14 @@ instructions).
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from ..compiler.convert import convert_software_prefetches
 from ..compiler.ir import Loop
+from ..compiler.pipeline import DerivedKernels, derive_manual_configuration
 from ..compiler.pragma import generate_from_pragma
 from ..cpu.trace import Trace, TraceBuilder
 from ..errors import WorkloadError
@@ -34,6 +36,53 @@ from ..programmable.config_api import PrefetcherConfiguration
 #: Multiplicative hash constant used by the hash-join and RandomAccess
 #: workloads (Knuth's 2^32 / phi), also baked into their PPU kernels.
 HASH_MULTIPLIER = 2654435761
+
+#: Environment variable selecting where manual-mode kernels come from:
+#: ``hand`` (the hand-written configuration) or ``compiled`` (derived from
+#: the loop IR by :mod:`repro.compiler.pipeline`).
+KERNEL_SOURCE_ENV_VAR = "REPRO_KERNEL_SOURCE"
+
+#: Valid kernel sources.
+KERNEL_SOURCES = ("hand", "compiled")
+
+
+def resolve_kernel_source(
+    explicit: Optional[str] = None,
+    *,
+    default: str = "hand",
+    derivable: bool = False,
+) -> str:
+    """Resolve which manual-kernel source to use.
+
+    Precedence: ``explicit`` argument > :data:`KERNEL_SOURCE_ENV_VAR` >
+    ``default``.  An explicit ``compiled`` is returned as-is even for a
+    workload that cannot derive its kernels — the caller then fails loudly
+    when the derivation comes up empty — whereas an env/default ``compiled``
+    falls back to ``hand`` for non-derivable workloads, which is the
+    *declared* fallback drivers may report.
+
+    Raises:
+        WorkloadError: On a value outside :data:`KERNEL_SOURCES`.
+    """
+
+    if explicit is not None:
+        if explicit not in KERNEL_SOURCES:
+            raise WorkloadError(
+                f"unknown kernel source {explicit!r}; expected one of {KERNEL_SOURCES}"
+            )
+        return explicit
+    value = os.environ.get(KERNEL_SOURCE_ENV_VAR, "").strip().lower()
+    if value:
+        if value not in KERNEL_SOURCES:
+            raise WorkloadError(
+                f"{KERNEL_SOURCE_ENV_VAR}={value!r}; expected one of {KERNEL_SOURCES}"
+            )
+        source = value
+    else:
+        source = default
+    if source == "compiled" and not derivable:
+        return "hand"
+    return source
 
 
 @dataclass(frozen=True)
@@ -74,6 +123,16 @@ class Workload(ABC):
     paper_input: str = ""
     #: The scaled input this reproduction uses.
     repro_input: str = ""
+    #: True when the manual-mode configuration can be derived from the loop
+    #: IR by the compiler pipeline (the ``compiled`` kernel source).
+    derives_manual: bool = False
+    #: Default manual-kernel source for this workload (``hand``/``compiled``);
+    #: overridable per run via ``REPRO_KERNEL_SOURCE`` or an explicit request.
+    kernel_source: str = "hand"
+    #: For workloads with loop IR but ``derives_manual = False``: why the
+    #: pipeline cannot (yet) reproduce the hand-written kernels.  CI fails
+    #: any workload that declares neither — no silent fallbacks.
+    derive_note: str = ""
 
     def __init__(self, scale: str = "default", seed: int = 42) -> None:
         self.scale = WorkloadScale.from_name(scale)
@@ -84,6 +143,7 @@ class Workload(ABC):
         self._manual: Optional[PrefetcherConfiguration] = None
         self._converted: Optional[PrefetcherConfiguration] = None
         self._pragma: Optional[PrefetcherConfiguration] = None
+        self._derived: Optional[DerivedKernels] = None
 
     # ----------------------------------------------------------------- build
 
@@ -172,6 +232,60 @@ class Workload(ABC):
     @abstractmethod
     def _build_manual_configuration(self) -> PrefetcherConfiguration:
         ...
+
+    def derived_kernels(self) -> DerivedKernels:
+        """Run (and cache) the loop-IR → manual-kernel derivation pipeline.
+
+        Returns:
+            The full :class:`~repro.compiler.pipeline.DerivedKernels` record
+            — every pipeline stage, not just the configuration — which the
+            dump tool uses to show intermediates.
+        """
+
+        self._require_built()
+        if self._derived is None:
+            loop, bindings = self.loop_ir()
+            self._derived = derive_manual_configuration(
+                loop, bindings, kernel_prefix=f"{self._prefix()}_gen"
+            )
+        return self._derived
+
+    def derived_manual_configuration(self) -> PrefetcherConfiguration:
+        """Manual-mode configuration derived from the loop IR (``compiled``).
+
+        Raises:
+            WorkloadError: When the pipeline produces no kernels for this
+                workload (its loop IR cannot express the hand-written
+                behaviour; see :attr:`derive_note`).
+        """
+
+        derived = self.derived_kernels()
+        if not derived.derived:
+            reasons = "; ".join(f"{source}: {reason}" for source, reason in derived.failures)
+            note = f" ({self.derive_note})" if self.derive_note else ""
+            raise WorkloadError(
+                f"{self.name}: the compiler pipeline derived no manual kernels{note}"
+                + (f" — {reasons}" if reasons else "")
+            )
+        return derived.configuration
+
+    def resolve_kernel_source(self, explicit: Optional[str] = None) -> str:
+        """Resolve the manual-kernel source for this workload instance."""
+
+        return resolve_kernel_source(
+            explicit, default=self.kernel_source, derivable=self.derives_manual
+        )
+
+    def manual_configuration_for(self, kernel_source: str) -> PrefetcherConfiguration:
+        """The manual configuration for an already-resolved kernel source."""
+
+        if kernel_source == "compiled":
+            return self.derived_manual_configuration()
+        if kernel_source == "hand":
+            return self.manual_configuration()
+        raise WorkloadError(
+            f"unknown kernel source {kernel_source!r}; expected one of {KERNEL_SOURCES}"
+        )
 
     def loop_ir(self) -> tuple[Loop, Mapping[str, int]]:
         """The loop IR + parameter bindings the compiler passes operate on.

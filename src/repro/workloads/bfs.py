@@ -29,6 +29,7 @@ from typing import Mapping
 import numpy as np
 
 from ..compiler import ir
+from ..compiler.frontend import parse_loop, prefetch
 from ..cpu.trace import TraceBuilder
 from ..programmable.config_api import PrefetcherConfiguration
 from .base import Workload
@@ -47,6 +48,7 @@ class FrontierBFSWorkload(Workload):
     pattern = "Frontier-stride-indirect + edge walks"
     paper_input = "— (off-paper workload)"
     repro_input = "R-MAT scale 11, edge factor 5, array frontiers (scaled)"
+    derives_manual = True
 
     def __init__(self, scale: str = "default", seed: int = 42) -> None:
         super().__init__(scale=scale, seed=seed)
@@ -173,47 +175,43 @@ class FrontierBFSWorkload(Workload):
     # -------------------------------------------------------------- compiler
 
     def _build_loop_ir(self) -> tuple[ir.Loop, Mapping[str, int]]:
-        frontier_decl = ir.ArrayDecl("frontier", "frontier_base", length_param="frontier_len")
-        offsets_decl = ir.ArrayDecl("row_offsets", "offsets_base", length_param="num_offsets")
-        columns_decl = ir.ArrayDecl("columns", "columns_base", length_param="num_edges")
-        dist_decl = ir.ArrayDecl("dist", "dist_base", length_param="num_vertices")
-        loop = ir.Loop(
-            "bfs",
-            ir.IndexVar("i"),
-            trip_count_param="frontier_len",
-            arrays=[frontier_decl, offsets_decl, columns_decl, dist_decl],
-            pragma_prefetch=True,
-            has_irregular_control_flow=True,
-        )
-        i = loop.indvar
-
-        # Software prefetches reach a future frontier vertex's offsets and
-        # the streamed distance gather; the per-vertex edge walk is control
-        # dependent and out of reach.
-        loop.add(
-            ir.SoftwarePrefetchStmt(
-                offsets_decl,
-                ir.Load(frontier_decl, ir.add(i, SOFTWARE_PREFETCH_DISTANCE)),
+        # The traversal is written as plain Python and *parsed* into the loop
+        # IR; the prefetch hints carry the hand-tuned stream names, seed
+        # distances and the chain-end choice, so the derivation pipeline
+        # reproduces the hand-written configuration exactly.  The per-vertex
+        # edge walk is a data-dependent inner loop: its loads are control
+        # dependent and out of reach of both compiler passes.
+        def traversal(i, frontier, row_offsets, columns, dist):
+            prefetch(
+                row_offsets[frontier[i + SOFTWARE_PREFETCH_DISTANCE]],
+                stream="bfs2_frontier",
+                distance=4,
+                chain_end=False,
                 name="swpf_offsets",
             )
-        )
-        loop.add(
-            ir.SoftwarePrefetchStmt(
-                dist_decl,
-                ir.Load(columns_decl, ir.add(i, SOFTWARE_PREFETCH_DISTANCE)),
+            prefetch(
+                dist[columns[i + SOFTWARE_PREFETCH_DISTANCE]],
+                stream="bfs2_edges_columns",
+                distance=16,
                 name="swpf_dist_stream",
             )
-        )
-        loop.add(ir.LoadStmt(ir.Load(offsets_decl, ir.Load(frontier_decl, i))))
-        loop.add(ir.LoadStmt(ir.Load(dist_decl, ir.Load(columns_decl, i))))
-        loop.add(
-            ir.LoadStmt(
-                ir.Load(
-                    columns_decl,
-                    ir.Load(offsets_decl, ir.Load(frontier_decl, i)),
-                    control_dependent=True,
-                )
-            )
+            row_offsets[frontier[i]]
+            dist[columns[i]]
+            for edge in range(row_offsets[frontier[i]], row_offsets[frontier[i] + 1]):
+                columns[edge]
+
+        loop = parse_loop(
+            traversal,
+            name="bfs",
+            arrays=[
+                ir.ArrayDecl("frontier", "frontier_base", length_param="frontier_len"),
+                ir.ArrayDecl("row_offsets", "offsets_base", length_param="num_offsets"),
+                ir.ArrayDecl("columns", "columns_base", length_param="num_edges"),
+                ir.ArrayDecl("dist", "dist_base", length_param="num_vertices"),
+            ],
+            trip_count_param="frontier_len",
+            pragma_prefetch=True,
+            constants={"SOFTWARE_PREFETCH_DISTANCE": SOFTWARE_PREFETCH_DISTANCE},
         )
 
         bindings = {

@@ -31,6 +31,12 @@ class ConjGradWorkload(Workload):
     pattern = "Stride-indirect"
     paper_input = "NAS class B"
     repro_input = "4,096-row sparse matrix, 6 nnz/row, 65,536-entry vector (scaled)"
+    derive_note = (
+        "The tuned manual configuration couples an avals streaming kernel to "
+        "the colidx stream's look-ahead register; the loop IR has no construct "
+        "for cross-stream coupling, so derivation would silently drop that "
+        "kernel and lose the tuned look-ahead distance."
+    )
 
     def __init__(self, scale: str = "default", seed: int = 42) -> None:
         super().__init__(scale=scale, seed=seed)

@@ -47,6 +47,12 @@ class Graph500CSRWorkload(Workload):
     pattern = "BFS (arrays)"
     paper_input = "-s 21 -e 10"
     repro_input = "R-MAT scale 12, edge factor 5 (scaled)"
+    derive_note = (
+        "The hand configuration is a bespoke multi-kernel BFS traversal — "
+        "queue/vertex/edge kernels chained through cross-referencing tags and "
+        "a num_edges bound check — far beyond the per-prefetch stride-indirect "
+        "chains the derivation pipeline produces from the loop IR."
+    )
 
     def __init__(self, scale: str = "default", seed: int = 42) -> None:
         super().__init__(scale=scale, seed=seed)

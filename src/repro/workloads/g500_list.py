@@ -39,6 +39,12 @@ class Graph500ListWorkload(Workload):
     pattern = "BFS (lists)"
     paper_input = "-s 16 -e 10"
     repro_input = "R-MAT scale 12, edge factor 4, linked edge lists (scaled)"
+    derive_note = (
+        "The hand configuration walks linked edge lists with three "
+        "interlinked fill kernels re-triggering each other through tags; the "
+        "loop IR records only the first-hop software prefetch, so derivation "
+        "reproduces a single chain and misses the list walk."
+    )
 
     def __init__(self, scale: str = "default", seed: int = 42) -> None:
         super().__init__(scale=scale, seed=seed)

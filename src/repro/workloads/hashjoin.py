@@ -86,6 +86,12 @@ class HashJoin2Workload(_HashJoinBase):
     pattern = "Stride-hash-indirect"
     paper_input = "-r 12800000 -s 12800000"
     repro_input = "16,000 probes into a 32,768-bucket inline hash table (scaled)"
+    derive_note = (
+        "The legacy loop IR carries no stream/distance hints, so the derived "
+        "chain diverges from the tuned hand kernels (look-ahead distance and "
+        "hash-constant global ordering); pending a frontend migration the "
+        "hand configuration stays authoritative."
+    )
 
     #: Bucket layout: [key, payload] — 16 bytes.
     _BUCKET_WORDS = 2
@@ -205,6 +211,12 @@ class HashJoin8Workload(_HashJoinBase):
     pattern = "Stride-hash-indirect, linked list walks"
     paper_input = "-r 12800000 -s 12800000"
     repro_input = "6,000 probes, 16,384 buckets, ~4-node chains (scaled)"
+    derive_note = (
+        "The hand configuration chases bucket chains with a self-re-triggering "
+        "walk_node kernel seeded from header fills; the legacy loop IR "
+        "describes the probe as two independent prefetches, so derivation "
+        "produces the wrong structure (two unrelated chains, no walker)."
+    )
 
     default_buckets = 16384
     default_build = 32768

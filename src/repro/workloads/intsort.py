@@ -35,6 +35,12 @@ class IntSortWorkload(Workload):
     pattern = "Stride-indirect"
     paper_input = "NAS class B"
     repro_input = "24,576 keys over a 32,768-bucket histogram (scaled)"
+    derive_note = (
+        "The legacy loop IR carries no stream/distance hints, so the derived "
+        "chain uses the raw software-prefetch distance (32) instead of the "
+        "tuned look-ahead of 8; pending a frontend migration the hand "
+        "configuration stays authoritative."
+    )
 
     def __init__(self, scale: str = "default", seed: int = 42) -> None:
         super().__init__(scale=scale, seed=seed)

@@ -38,6 +38,12 @@ class PageRankWorkload(Workload):
     pattern = "Stride-indirect"
     paper_input = "web-Google"
     repro_input = "R-MAT scale 14, edge factor 6, ~18k-edge sweep (scaled)"
+    derive_note = (
+        "The loop IR contains no software-prefetch statement (the paper "
+        "applies no SWPF to PageRank), so the pipeline has nothing to anchor "
+        "a chain on; the manual configuration is written directly against the "
+        "stride-indirect helper with a multi-target fan-out."
+    )
 
     def __init__(self, scale: str = "default", seed: int = 42) -> None:
         super().__init__(scale=scale, seed=seed)

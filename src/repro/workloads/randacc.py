@@ -39,6 +39,12 @@ class RandomAccessWorkload(Workload):
     pattern = "Stride-hash-indirect"
     paper_input = "100,000,000 updates"
     repro_input = "20,480 updates over a 65,536-entry table (scaled)"
+    derive_note = (
+        "The legacy loop IR carries no stream/distance hints, so the derived "
+        "chain diverges from the tuned hand kernels (look-ahead distance and "
+        "the pre-registered mask global's slot); pending a frontend migration "
+        "the hand configuration stays authoritative."
+    )
 
     def __init__(self, scale: str = "default", seed: int = 42) -> None:
         super().__init__(scale=scale, seed=seed)

@@ -53,6 +53,13 @@ class WorkloadSpec:
         pattern: Access-pattern summary (the Table 2 column).
         description: One-line summary, taken from the factory docstring when
             not given explicitly.
+        derives_manual: ``True`` when the compiler pipeline can derive this
+            workload's manual-mode kernels from its loop IR (the
+            ``compiled`` kernel source).
+        kernel_source: Default manual-kernel source (``hand``/``compiled``).
+        derive_note: For workloads with loop IR but ``derives_manual`` off:
+            the declared reason the pipeline cannot reproduce the
+            hand-written kernels.  CI rejects specs declaring neither.
     """
 
     name: str
@@ -61,6 +68,9 @@ class WorkloadSpec:
     paper_reference: bool = False
     pattern: str = ""
     description: str = ""
+    derives_manual: bool = False
+    kernel_source: str = "hand"
+    derive_note: str = ""
 
     def build(self, scale: str = "default", seed: int = 42) -> Workload:
         """Construct the workload, build its data structures and return it.
@@ -196,6 +206,9 @@ def register_workload(
                 paper_reference=paper_reference,
                 pattern=cls.pattern,
                 description=doc[0] if doc else "",
+                derives_manual=cls.derives_manual,
+                kernel_source=cls.kernel_source,
+                derive_note=cls.derive_note,
             )
         )
         return cls
@@ -242,3 +255,24 @@ def specs() -> list[WorkloadSpec]:
     """Every registered spec, in registration order."""
 
     return REGISTRY.specs()
+
+
+def resolve_kernel_source(name: str, explicit: Optional[str] = None) -> str:
+    """Resolve the manual-kernel source for workload ``name`` by its spec.
+
+    Imports :mod:`repro.workloads` first so the registry is populated even
+    when the caller (e.g. the batch engine normalising a
+    :class:`~repro.sim.engine.request.SimRequest`) has not touched workloads
+    yet.  Unregistered names resolve as non-derivable, i.e. ``compiled``
+    from the environment falls back to ``hand``.
+    """
+
+    from importlib import import_module
+
+    from .base import resolve_kernel_source as _resolve
+
+    import_module(__package__)
+    if name in REGISTRY:
+        spec = REGISTRY.get(name)
+        return _resolve(explicit, default=spec.kernel_source, derivable=spec.derives_manual)
+    return _resolve(explicit, default="hand", derivable=False)

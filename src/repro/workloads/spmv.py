@@ -21,6 +21,7 @@ from typing import Mapping
 import numpy as np
 
 from ..compiler import ir
+from ..compiler.frontend import compute, parse_loop, prefetch
 from ..cpu.trace import TraceBuilder
 from ..programmable.config_api import PrefetcherConfiguration
 from .base import Workload
@@ -39,6 +40,7 @@ class SpMVWorkload(Workload):
     pattern = "Stride-indirect gather"
     paper_input = "— (off-paper workload)"
     repro_input = "R-MAT scale 13, edge factor 4, ~20k-nonzero sweep (scaled)"
+    derives_manual = True
 
     def __init__(self, scale: str = "default", seed: int = 42) -> None:
         super().__init__(scale=scale, seed=seed)
@@ -126,29 +128,33 @@ class SpMVWorkload(Workload):
     # -------------------------------------------------------------- compiler
 
     def _build_loop_ir(self) -> tuple[ir.Loop, Mapping[str, int]]:
-        col_decl = ir.ArrayDecl("col_idx", "col_base", length_param="num_nonzeros")
-        vals_decl = ir.ArrayDecl("vals", "vals_base", length_param="num_nonzeros")
-        x_decl = ir.ArrayDecl("x", "x_base", length_param="num_rows")
-        loop = ir.Loop(
-            "spmv",
-            ir.IndexVar("j"),
-            trip_count_param="num_nonzeros",
-            arrays=[col_decl, vals_decl, x_decl],
-            pragma_prefetch=True,
-        )
-        j = loop.indvar
-        loop.add(
-            ir.SoftwarePrefetchStmt(
-                x_decl,
-                ir.Load(col_decl, ir.add(j, SOFTWARE_PREFETCH_DISTANCE)),
+        # Written as a plain traversal function and parsed into the loop IR
+        # (docs/workloads.md walks through exactly this code); the stream and
+        # distance hints make the derived kernels match the hand-written
+        # configuration.
+        def traversal(j, col_idx, vals, x):
+            prefetch(
+                x[col_idx[j + SOFTWARE_PREFETCH_DISTANCE]],
+                stream="spmv_col_idx",
+                distance=8,
                 name="swpf_x",
             )
+            gather = x[col_idx[j]]
+            value = vals[j]
+            compute(2, gather, value)
+
+        loop = parse_loop(
+            traversal,
+            name="spmv",
+            arrays=[
+                ir.ArrayDecl("col_idx", "col_base", length_param="num_nonzeros"),
+                ir.ArrayDecl("vals", "vals_base", length_param="num_nonzeros"),
+                ir.ArrayDecl("x", "x_base", length_param="num_rows"),
+            ],
+            trip_count_param="num_nonzeros",
+            pragma_prefetch=True,
+            constants={"SOFTWARE_PREFETCH_DISTANCE": SOFTWARE_PREFETCH_DISTANCE},
         )
-        gather = ir.Load(x_decl, ir.Load(col_decl, j))
-        value = ir.Load(vals_decl, j)
-        loop.add(ir.LoadStmt(gather))
-        loop.add(ir.LoadStmt(value))
-        loop.add(ir.ComputeStmt(2, uses=(gather, value)))
         bindings = {
             "col_base": self.col_idx.base_addr,
             "vals_base": self.vals.base_addr,

@@ -24,6 +24,7 @@ from typing import Mapping
 import numpy as np
 
 from ..compiler import ir
+from ..compiler.frontend import parse_loop, prefetch
 from ..cpu.trace import TraceBuilder
 from ..programmable.config_api import PrefetcherConfiguration
 from ..programmable.kernel import KernelBuilder
@@ -45,6 +46,7 @@ class UnionFindWorkload(Workload):
     pattern = "Stride-indirect + pointer chasing (path halving)"
     paper_input = "— (off-paper workload)"
     repro_input = "12,288 finds over 32,768 elements in 12-deep chains (scaled)"
+    derives_manual = True
 
     def __init__(self, scale: str = "default", seed: int = 42) -> None:
         super().__init__(scale=scale, seed=seed)
@@ -163,30 +165,33 @@ class UnionFindWorkload(Workload):
     # -------------------------------------------------------------- compiler
 
     def _build_loop_ir(self) -> tuple[ir.Loop, Mapping[str, int]]:
-        ops_decl = ir.ArrayDecl("ops", "ops_base", length_param="num_queries")
-        parent_decl = ir.ArrayDecl("parent", "parent_base", length_param="num_elements")
-        loop = ir.Loop(
-            "unionfind",
-            ir.IndexVar("i"),
-            trip_count_param="num_queries",
-            arrays=[ops_decl, parent_decl],
-            pragma_prefetch=True,
-            has_irregular_control_flow=True,
-        )
-        i = loop.indvar
-
+        # Written as a plain traversal function and parsed into the loop IR.
         # Software prefetching reaches the first hop of a future query; the
-        # rest of the chase is control dependent.
-        loop.add(
-            ir.SoftwarePrefetchStmt(
-                parent_decl,
-                ir.Load(ops_decl, ir.add(i, SOFTWARE_PREFETCH_DISTANCE)),
+        # while-chase lowers to a control-dependent load (out of reach of
+        # both compiler passes) plus a PointerChaseStmt, which the derivation
+        # pipeline turns into the self-re-triggering walker kernel.
+        def traversal(i, ops, parent):
+            prefetch(
+                parent[ops[i + SOFTWARE_PREFETCH_DISTANCE]],
+                stream="uf_ops",
+                distance=8,
                 name="swpf_first_hop",
             )
+            x = parent[ops[i]]
+            while parent[x] != x:
+                x = parent[x]
+
+        loop = parse_loop(
+            traversal,
+            name="unionfind",
+            arrays=[
+                ir.ArrayDecl("ops", "ops_base", length_param="num_queries"),
+                ir.ArrayDecl("parent", "parent_base", length_param="num_elements"),
+            ],
+            trip_count_param="num_queries",
+            pragma_prefetch=True,
+            constants={"SOFTWARE_PREFETCH_DISTANCE": SOFTWARE_PREFETCH_DISTANCE},
         )
-        first_hop = ir.Load(parent_decl, ir.Load(ops_decl, i))
-        loop.add(ir.LoadStmt(first_hop))
-        loop.add(ir.LoadStmt(ir.Load(parent_decl, first_hop, control_dependent=True)))
         bindings = {
             "ops_base": self.ops.base_addr,
             "parent_base": self.parent.base_addr,

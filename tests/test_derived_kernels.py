@@ -1,0 +1,369 @@
+"""Compiler-derived manual kernels: bit-identical to the hand-written ones.
+
+The loop-IR → manual-kernel pipeline (``repro.compiler.pipeline``) promises
+that, for every workload declaring ``derives_manual``, the derived
+configuration is *behaviourally indistinguishable* from the hand-written
+one: the same kernel instruction streams in the same order, the same filter
+ranges, streams, tags and global registers (names included where they leak
+into statistics), and therefore the same simulation results.  This module
+pins that promise three ways:
+
+* structurally — the two configurations compare equal shape-for-shape;
+* differentially — hypothesis drives position-aligned kernel pairs through
+  the interpreter on randomised contexts and demands identical prefetches,
+  instruction counts, abort flags and untouched global registers;
+* end-to-end — a full ``manual``/``manual-blocked`` simulation run with
+  ``kernel_source="compiled"`` must reproduce the *existing* golden-stats
+  fingerprints exactly (derived mode needs no golden entries of its own).
+
+It also audits the registry (no workload may silently fall back from
+``compiled`` to hand-written without a declared ``derive_note``) and pins
+the kernel-source resolution and request-digest provenance rules.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from unittest import mock
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.errors import WorkloadError
+from repro.programmable.interpreter import KernelContext, default_lookahead, execute_kernel
+from repro.sim import PrefetchMode, mode_available, simulate
+from repro.sim.engine import SimRequest
+from repro.workloads import registry
+from repro.workloads.base import (
+    KERNEL_SOURCE_ENV_VAR,
+    resolve_kernel_source,
+)
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "data" / "golden_stats.json"
+
+#: Workloads whose manual kernels the pipeline derives (bfs/spmv/unionfind).
+DERIVABLE = [name for name in registry.names() if registry.get(name).derives_manual]
+
+_U64 = (1 << 64) - 1
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SystemConfig.scaled()
+
+
+@pytest.fixture(scope="module")
+def golden_stats():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+# -------------------------------------------------------------- registry audit
+
+
+class TestRegistryAudit:
+    def test_some_workloads_derive(self):
+        assert sorted(DERIVABLE) == ["bfs", "spmv", "unionfind"]
+
+    def test_every_workload_declares_derivation_status(self):
+        """No silent fallback: a workload with loop IR either derives its
+        manual kernels or says, in its spec, why it cannot."""
+
+        undeclared = [
+            spec.name
+            for spec in registry.specs()
+            if not spec.derives_manual and not spec.derive_note.strip()
+        ]
+        assert not undeclared, (
+            f"workloads neither derive their manual kernels nor declare why: "
+            f"{undeclared}"
+        )
+
+    def test_derivable_workloads_actually_derive(self, tiny_workloads):
+        for name in DERIVABLE:
+            configuration = tiny_workloads.get(name).derived_manual_configuration()
+            assert configuration.kernels, name
+
+    def test_non_derivable_workload_fails_loudly_when_forced(self, tiny_workloads):
+        workload = tiny_workloads.get("pagerank")
+        with pytest.raises(WorkloadError, match="derived no manual kernels"):
+            workload.manual_configuration_for("compiled")
+
+
+# ------------------------------------------------------ structural equivalence
+
+
+def _shape(configuration):
+    """The behaviour-determining shape of a configuration.
+
+    Kernel/range/tag/global *names* — and the kernel dictionary's insertion
+    order — do not reach any statistic: ranges and tags reference kernels by
+    name, so a kernel's identity here is its instruction stream, substituted
+    in place of each reference.  Stream names do leak (per-stream look-ahead
+    statistics are keyed by them) and are compared verbatim, as are the
+    ordered global values, tag numbers and range bounds/flags.
+    """
+
+    def body(kernel_name):
+        if kernel_name is None:
+            return None
+        return tuple(configuration.kernel(kernel_name).instructions)
+
+    return {
+        "kernels": sorted(
+            repr(tuple(program.instructions))
+            for program in configuration.kernels.values()
+        ),
+        "ranges": [
+            (
+                entry.base,
+                entry.end,
+                body(entry.load_kernel),
+                body(entry.prefetch_kernel),
+                entry.stream,
+                entry.time_iterations,
+                entry.chain_start,
+                entry.chain_end,
+            )
+            for entry in configuration.ranges
+        ],
+        "streams": sorted(
+            (stream.index, stream.name, stream.default_distance)
+            for stream in configuration.streams.values()
+        ),
+        "globals": list(configuration.global_values()),
+        "tags": sorted(
+            (tag.tag, body(tag.kernel), tag.stream, tag.chain_end)
+            for tag in configuration.tags.values()
+        ),
+        "config_instructions": configuration.config_instruction_count(),
+    }
+
+
+class TestStructuralEquivalence:
+    @pytest.mark.parametrize("name", DERIVABLE)
+    def test_derived_configuration_matches_hand_written(self, name, tiny_workloads):
+        workload = tiny_workloads.get(name)
+        hand = _shape(workload.manual_configuration())
+        derived = _shape(workload.derived_manual_configuration())
+        for key in hand:
+            assert derived[key] == hand[key], f"{name}: {key} diverged"
+
+    @pytest.mark.parametrize("name", DERIVABLE)
+    def test_derived_configuration_validates(self, name, tiny_workloads):
+        tiny_workloads.get(name).derived_manual_configuration().validate()
+
+
+# ------------------------------------------------------------- differential
+
+
+def _contexts(global_values):
+    """Randomised kernel contexts over the workload's real global registers."""
+
+    return st.builds(
+        KernelContext,
+        vaddr=st.integers(min_value=0, max_value=1 << 36).map(lambda v: v * 8),
+        line_base=st.just(0),
+        line_words=st.one_of(
+            st.none(),
+            st.lists(
+                st.integers(min_value=0, max_value=_U64), min_size=8, max_size=8
+            ).map(tuple),
+        ),
+        global_registers=st.just(list(global_values)),
+        lookahead=st.sampled_from(
+            [default_lookahead, lambda stream: (stream * 5 + 2) % 64]
+        ),
+    )
+
+
+def _aligned_kernel_pairs():
+    """Kernel pairs aligned by *trigger*, not by registration order.
+
+    Two kernels correspond when the same event dispatches them: the load
+    (or prefetch) kernel of the i-th filter range, and the kernel of tag
+    number k.  Every kernel is reachable through one of those references,
+    so this covers both configurations completely.
+    """
+
+    from repro.workloads import build_workload
+
+    pairs = []
+    for name in DERIVABLE:
+        workload = build_workload(name, scale="tiny")
+        hand = workload.manual_configuration()
+        derived = workload.derived_manual_configuration()
+        globals_ = tuple(hand.global_values())
+        workload_pairs = []
+
+        for index, (h_range, d_range) in enumerate(zip(hand.ranges, derived.ranges)):
+            for role in ("load_kernel", "prefetch_kernel"):
+                h_name = getattr(h_range, role)
+                d_name = getattr(d_range, role)
+                assert (h_name is None) == (d_name is None), (name, index, role)
+                if h_name is not None:
+                    workload_pairs.append(
+                        (
+                            f"{name}/range{index}.{role}",
+                            hand.kernel(h_name),
+                            derived.kernel(d_name),
+                            globals_,
+                        )
+                    )
+        assert sorted(hand.tags) == sorted(derived.tags), name
+        for tag in hand.tags:
+            workload_pairs.append(
+                (
+                    f"{name}/tag{tag}",
+                    hand.kernel(hand.tags[tag].kernel),
+                    derived.kernel(derived.tags[tag].kernel),
+                    globals_,
+                )
+            )
+        # Every kernel of both configurations is reachable from a range or
+        # a tag; anything unreferenced would escape the differential.
+        assert {p.name for _, p, _, _ in workload_pairs} == set(hand.kernels), name
+        assert {p.name for _, _, p, _ in workload_pairs} == set(derived.kernels), name
+        pairs.extend(workload_pairs)
+    return pairs
+
+
+_PAIRS = _aligned_kernel_pairs()
+
+
+@st.composite
+def _pair_and_context(draw):
+    label, hand, derived, global_values = draw(st.sampled_from(_PAIRS))
+    context = draw(_contexts(global_values))
+    return label, hand, derived, context
+
+
+class TestDifferential:
+    @settings(max_examples=80, deadline=None)
+    @given(case=_pair_and_context())
+    def test_hand_and_derived_kernels_bit_identical(self, case):
+        trigger, hand, derived, context = case
+        globals_before = list(context.global_registers)
+        hand_result = execute_kernel(hand, context)
+        derived_result = execute_kernel(derived, context)
+        label = f"{trigger} ({hand.name} vs {derived.name})"
+        assert derived_result.prefetches == hand_result.prefetches, label
+        assert (
+            derived_result.instructions_executed == hand_result.instructions_executed
+        ), label
+        assert derived_result.aborted == hand_result.aborted, label
+        assert list(context.global_registers) == globals_before, label
+
+
+# ----------------------------------------------------------------- end-to-end
+
+
+class TestDerivedGoldenStats:
+    """A compiled-kernel run reproduces the hand-written golden fingerprints."""
+
+    @pytest.mark.parametrize("name", DERIVABLE)
+    @pytest.mark.parametrize(
+        "mode", [PrefetchMode.MANUAL, PrefetchMode.MANUAL_BLOCKED]
+    )
+    def test_compiled_run_matches_existing_golden_entry(
+        self, name, mode, tiny_workloads, config, golden_stats
+    ):
+        workload = tiny_workloads.get(name)
+        if not mode_available(workload, mode):
+            pytest.skip(f"{name}: {mode.value} unavailable")
+        result = simulate(workload, mode, config, kernel_source="compiled")
+        measured = json.loads(json.dumps(result.as_dict()))
+        assert measured == golden_stats[f"{name}/{mode.value}"], (
+            f"{name}/{mode.value}: compiled kernels diverged from the "
+            f"hand-written golden fingerprint"
+        )
+
+
+# ----------------------------------------------------------------- resolution
+
+
+class TestKernelSourceResolution:
+    def test_explicit_wins_over_env(self):
+        with mock.patch.dict(os.environ, {KERNEL_SOURCE_ENV_VAR: "compiled"}):
+            assert resolve_kernel_source("hand", derivable=True) == "hand"
+
+    def test_env_wins_over_default(self):
+        with mock.patch.dict(os.environ, {KERNEL_SOURCE_ENV_VAR: "compiled"}):
+            assert resolve_kernel_source(None, default="hand", derivable=True) == "compiled"
+
+    def test_default_applies_without_env(self):
+        with mock.patch.dict(os.environ):
+            os.environ.pop(KERNEL_SOURCE_ENV_VAR, None)
+            assert resolve_kernel_source(None, default="compiled", derivable=True) == "compiled"
+            assert resolve_kernel_source(None, derivable=True) == "hand"
+
+    def test_env_compiled_falls_back_to_hand_when_not_derivable(self):
+        with mock.patch.dict(os.environ, {KERNEL_SOURCE_ENV_VAR: "compiled"}):
+            assert resolve_kernel_source(None, derivable=False) == "hand"
+            assert registry.resolve_kernel_source("pagerank") == "hand"
+            assert registry.resolve_kernel_source("bfs") == "compiled"
+
+    def test_explicit_compiled_passes_through_for_non_derivable(self):
+        # Explicit requests fail loudly later instead of silently degrading.
+        assert resolve_kernel_source("compiled", derivable=False) == "compiled"
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(WorkloadError):
+            resolve_kernel_source("jit", derivable=True)
+        with mock.patch.dict(os.environ, {KERNEL_SOURCE_ENV_VAR: "jit"}):
+            with pytest.raises(WorkloadError):
+                resolve_kernel_source(None, derivable=True)
+
+    def test_forced_compiled_simulation_fails_loudly(self, tiny_workloads, config):
+        workload = tiny_workloads.get("pagerank")
+        with pytest.raises(WorkloadError, match="derived no manual kernels"):
+            simulate(workload, PrefetchMode.MANUAL, config, kernel_source="compiled")
+
+
+# ----------------------------------------------------------- digest provenance
+
+
+class TestDigestProvenance:
+    def test_compiled_and_hand_requests_never_alias(self):
+        hand = SimRequest(workload="bfs", mode="manual", kernel_source="hand")
+        compiled = SimRequest(workload="bfs", mode="manual", kernel_source="compiled")
+        assert hand.kernel_source == "hand"
+        assert compiled.kernel_source == "compiled"
+        assert hand.digest != compiled.digest
+        assert hand.describe()["kernel_source"] == "hand"
+        assert compiled.describe()["kernel_source"] == "compiled"
+
+    def test_manual_requests_normalise_the_effective_source(self):
+        with mock.patch.dict(os.environ, {KERNEL_SOURCE_ENV_VAR: "compiled"}):
+            request = SimRequest(workload="bfs", mode="manual")
+            assert request.kernel_source == "compiled"
+        with mock.patch.dict(os.environ):
+            os.environ.pop(KERNEL_SOURCE_ENV_VAR, None)
+            default = SimRequest(workload="bfs", mode="manual")
+            assert default.kernel_source == "hand"
+        explicit = SimRequest(workload="bfs", mode="manual", kernel_source="compiled")
+        with mock.patch.dict(os.environ, {KERNEL_SOURCE_ENV_VAR: "compiled"}):
+            via_env = SimRequest(workload="bfs", mode="manual")
+        assert via_env.digest == explicit.digest
+
+    def test_non_manual_modes_are_insensitive_to_kernel_source(self):
+        with mock.patch.dict(os.environ):
+            os.environ.pop(KERNEL_SOURCE_ENV_VAR, None)
+            plain = SimRequest(workload="bfs", mode="stride")
+        with mock.patch.dict(os.environ, {KERNEL_SOURCE_ENV_VAR: "compiled"}):
+            under_env = SimRequest(workload="bfs", mode="stride")
+        assert plain.kernel_source is None and under_env.kernel_source is None
+        assert plain.digest == under_env.digest
+
+    def test_non_derivable_manual_requests_normalise_env_to_hand(self):
+        with mock.patch.dict(os.environ, {KERNEL_SOURCE_ENV_VAR: "compiled"}):
+            request = SimRequest(workload="pagerank", mode="manual")
+        assert request.kernel_source == "hand"
+
+    def test_explicit_compiled_survives_normalisation_for_non_derivable(self):
+        # The digest records the forced source; execution fails loudly later.
+        request = SimRequest(workload="pagerank", mode="manual", kernel_source="compiled")
+        assert request.kernel_source == "compiled"
