@@ -11,19 +11,33 @@ points (every figure's no-prefetch baselines, the Figure 9 reference runs)
 are simulated exactly once.  ``--parallel`` farms the plan across CPU cores
 and ``--cache DIR`` persists results so a repeated run simulates nothing.
 
+Long sweeps are durable: ``--checkpoint`` records each completed request in
+a run manifest, and after a crash or ``kill -9`` the same command with
+``--resume`` executes only the missing requests (see docs/resilience.md).
+``--deadline`` bounds the run; the exit code is nonzero when any request
+failed, with the failure labels printed.
+
 Usage::
 
     python examples/reproduce_paper.py --scale small
     python examples/reproduce_paper.py --scale default --figure9 --parallel \\
         --cache .sim-cache --write-experiments
+    python examples/reproduce_paper.py --scale default --cache .sim-cache \\
+        --checkpoint .sim-ckpt --resume   # after an interrupted run
 """
 
 import argparse
 
-from repro.eval.report import build_engine, run_report, render_markdown, write_markdown
+from repro.eval.report import (
+    build_engine,
+    failure_exit_code,
+    run_report,
+    render_markdown,
+    write_markdown,
+)
 
 
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="small", choices=["tiny", "small", "default"],
                         help="workload scale (default: small)")
@@ -46,6 +60,20 @@ def main() -> None:
                              "ADDR (host:port or unix:/path) instead of simulating "
                              "locally; --parallel/--jobs/--cache/--trace-store then "
                              "apply on the daemon side, not here")
+    parser.add_argument("--checkpoint", metavar="DIR", nargs="?", const="", default=None,
+                        help="record completed requests in a run manifest under DIR "
+                             "(default: $REPRO_CHECKPOINT_DIR or the per-user cache); "
+                             "an interrupted run restarts with --resume")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay the previous run's checkpoint manifest against the "
+                             "result cache and execute only the missing requests "
+                             "(implies --checkpoint)")
+    parser.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                        help="overall simulation budget; requests past it fail with a "
+                             "retryable label instead of running (resume retries them)")
+    parser.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                        help="with --parallel: execution attempts per chunk before its "
+                             "requests fail (hung/crashed workers requeue; default 3)")
     parser.add_argument("--write-experiments", metavar="PATH", nargs="?",
                         const="EXPERIMENTS.md", default=None,
                         help="write the Markdown report to PATH (default EXPERIMENTS.md)")
@@ -56,8 +84,15 @@ def main() -> None:
     args = parser.parse_args()
 
     parallel = args.parallel or args.jobs is not None
+    checkpoint_dir = args.checkpoint
+    if checkpoint_dir == "":  # bare --checkpoint: use the default directory
+        from repro.sim.engine import default_checkpoint_dir
+
+        checkpoint_dir = str(default_checkpoint_dir())
     engine = build_engine(parallel=parallel, workers=args.jobs, cache_dir=args.cache,
-                          trace_store_dir=args.trace_store, service=args.service)
+                          trace_store_dir=args.trace_store, service=args.service,
+                          checkpoint_dir=checkpoint_dir, resume=args.resume,
+                          deadline=args.deadline, max_attempts=args.max_attempts)
     report = run_report(
         workloads=args.workloads,
         scale=args.scale,
@@ -76,6 +111,15 @@ def main() -> None:
         print(f"  cache hits:       {stats.cache_hits}")
         print(f"  simulated:        {stats.executed} ({stats.unavailable} unavailable)")
         print(f"  failed:           {stats.failed}")
+        if stats.resumed:
+            print(f"  resumed:          {stats.resumed} (from checkpoint manifest)")
+        if stats.requeues or stats.hung_killed:
+            print(f"  requeued chunks:  {stats.requeues} "
+                  f"({stats.hung_killed} hung workers killed)")
+        if stats.expired:
+            print(f"  deadline-expired: {stats.expired}")
+        if stats.rejected:
+            print(f"  service backoffs: {stats.rejected}")
         print(f"  traces:           {stats.trace_hits} warm, {stats.trace_built} emitted "
               f"({stats.trace_stored} stored)")
         print(f"  runner:           {stats.runner}")
@@ -108,6 +152,8 @@ def main() -> None:
             print(format_diff(diff))
         print(f"\nWrote {path}")
 
+    return failure_exit_code(report.engine_stats)
+
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ paper-vs-measured values.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -84,6 +85,10 @@ def build_engine(
     cache_dir: Optional[str] = None,
     trace_store_dir: Optional[str] = None,
     service: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    deadline: Optional[float] = None,
+    max_attempts: Optional[int] = None,
 ) -> SimEngine:
     """Assemble an engine from the common driver knobs.
 
@@ -92,25 +97,67 @@ def build_engine(
     (``REPRO_TRACE_STORE``, falling back to the per-user cache directory),
     ``"off"`` disables the tier, and any other value names the directory.
 
+    The resilience knobs (see ``docs/resilience.md``): ``checkpoint_dir``
+    writes a durable run manifest as each request completes; ``resume``
+    replays the previous manifest against the cache and executes only the
+    missing requests; ``deadline`` bounds each run in seconds; and
+    ``max_attempts`` bounds how often the parallel runner requeues a chunk
+    whose worker hung or crashed.
+
     ``service`` short-circuits everything else: instead of simulating
     locally, return a :class:`~repro.service.ServiceEngine` that submits
     plans to a running ``repro serve`` daemon at that address
     (``host:port`` or ``unix:/path``).  The daemon owns its own cache,
-    trace store and workers, so the local knobs do not apply.
+    trace store and workers, so of the local knobs only ``deadline``
+    applies (forwarded as the per-submission deadline).
     """
 
     if service is not None:
         from ..service import ServiceEngine
 
-        return ServiceEngine(service)
+        return ServiceEngine(service, deadline=deadline)
     store = trace_store_from_spec(trace_store_dir)
-    runner = (
-        MultiprocessRunner(workers, trace_store=store)
-        if parallel
-        else SerialRunner(trace_store=store)
-    )
+    if parallel:
+        runner_kwargs = {} if max_attempts is None else {"max_attempts": max_attempts}
+        runner = MultiprocessRunner(workers, trace_store=store, **runner_kwargs)
+    else:
+        runner = SerialRunner(trace_store=store)
     cache = ResultCache(cache_dir) if cache_dir else None
-    return SimEngine(runner=runner, cache=cache)
+    if resume and cache is None:
+        # Resume replays the manifest *against the cache*; without one only
+        # unavailable markers could be reused.  Nudge rather than fail —
+        # the run is still correct, just slower.
+        print(
+            "note: --resume without a result cache re-executes completed "
+            "requests; pass --cache DIR to make resume effective",
+            file=sys.stderr,
+        )
+    return SimEngine(
+        runner=runner,
+        cache=cache,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        deadline=deadline,
+    )
+
+
+def failure_exit_code(stats: Optional[EngineStats]) -> int:
+    """Driver exit code for a finished run: nonzero when requests failed.
+
+    Failed requests are delivered as labelled skips, so a report still
+    renders — but a CI job or script must not read partial results as
+    success.  Prints the failure labels to stderr as the explanation.
+    """
+
+    if stats is None or not stats.failed:
+        return 0
+    print(
+        f"error: {stats.failed} simulation request(s) failed:", file=sys.stderr
+    )
+    for label, count in sorted(stats.failures.items()):
+        suffix = f" (×{count})" if count > 1 else ""
+        print(f"  - {label}{suffix}", file=sys.stderr)
+    return 1
 
 
 def run_report(
@@ -126,6 +173,10 @@ def run_report(
     cache_dir: Optional[str] = None,
     trace_store_dir: Optional[str] = None,
     service: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    deadline: Optional[float] = None,
+    max_attempts: Optional[int] = None,
 ) -> ReproductionReport:
     """Run the full experiment suite and return the collected report.
 
@@ -141,6 +192,8 @@ def run_report(
         engine = build_engine(
             parallel=parallel, workers=workers, cache_dir=cache_dir,
             trace_store_dir=trace_store_dir, service=service,
+            checkpoint_dir=checkpoint_dir, resume=resume,
+            deadline=deadline, max_attempts=max_attempts,
         )
 
     # One plan drives everything: the Figure 7 comparison modes (shared by

@@ -37,12 +37,19 @@ import time
 from typing import Any, Callable, Optional, Sequence, Union
 
 from ..errors import ServiceError, ServiceProtocolError
+from ..resilience import RetryPolicy
 from ..sim.engine import BatchResult, EngineStats, SimPlan, SimRequest
 from ..sim.results import SimulationResult
 from .protocol import MAX_MESSAGE_BYTES, decode_message, encode_message, request_to_wire
 
 #: Event callback: receives every server message for one submission.
 EventCallback = Callable[[dict[str, Any]], None]
+
+#: Upper bound on admission-control rejections one ``submit`` call will
+#: retry through before giving up.  Deliberately generous: each retry waits
+#: at least the server's ``retry_after``, so a busy-but-progressing daemon
+#: is eventually admitted, while a wedged one still cannot loop forever.
+DEFAULT_REJECTION_LIMIT = 100
 
 
 def parse_address(address: str) -> Union[tuple[str, int], str]:
@@ -75,31 +82,46 @@ class ServiceClient:
         connect_retries: int = 5,
         backoff: float = 0.05,
         name: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        rejection_limit: int = DEFAULT_REJECTION_LIMIT,
     ) -> None:
         self.address = address
         self.timeout = timeout
         self.connect_retries = connect_retries
         self.backoff = backoff
         self.name = name or f"client-{os.getpid()}"
+        #: Backoff schedule shared by connects, resubmits after connection
+        #: loss, and admission-control rejections.  Capped and seeded with
+        #: the client name, so concurrent clients decorrelate their retries
+        #: instead of hammering the daemon in lockstep.
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(
+                max_attempts=connect_retries + 1,
+                base_delay=backoff,
+                seed=self.name,
+            )
+        )
+        self.rejection_limit = rejection_limit
         self.welcome: Optional[dict[str, Any]] = None
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._ids = itertools.count(1)
+        self._sleep: Callable[[float], None] = time.sleep
         self.connect()
 
     # ------------------------------------------------------------ transport
 
     def connect(self) -> None:
-        """(Re)connect with exponential backoff, then handshake."""
+        """(Re)connect with capped, jittered backoff, then handshake."""
 
         self.close()
         target = parse_address(self.address)
         last_error: Optional[Exception] = None
-        delay = self.backoff
-        for attempt in range(self.connect_retries + 1):
+        for attempt in range(self.retry_policy.max_attempts):
             if attempt:
-                time.sleep(delay)
-                delay *= 2
+                self._sleep(self.retry_policy.delay(attempt - 1))
             try:
                 if isinstance(target, str):
                     sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -121,7 +143,7 @@ class ServiceClient:
             return
         raise ServiceError(
             f"could not connect to service at {self.address!r} "
-            f"after {self.connect_retries + 1} attempts: {last_error}"
+            f"after {self.retry_policy.max_attempts} attempts: {last_error}"
         )
 
     def close(self) -> None:
@@ -171,23 +193,31 @@ class ServiceClient:
 
     # ------------------------------------------------------------- requests
 
-    def submit_nowait(self, requests: Sequence[SimRequest]) -> int:
+    def submit_nowait(
+        self,
+        requests: Sequence[SimRequest],
+        *,
+        deadline: Optional[float] = None,
+    ) -> int:
         """Send one submission; returns its id.  Events via :meth:`read_event`."""
 
         sid = next(self._ids)
-        self._send(
-            {
-                "type": "submit",
-                "id": sid,
-                "requests": [request_to_wire(request) for request in requests],
-            }
-        )
+        message: dict[str, Any] = {
+            "type": "submit",
+            "id": sid,
+            "requests": [request_to_wire(request) for request in requests],
+        }
+        if deadline is not None:
+            message["deadline"] = deadline
+        self._send(message)
         return sid
 
     def submit(
         self,
         requests: Sequence[SimRequest],
         on_event: Optional[EventCallback] = None,
+        *,
+        deadline: Optional[float] = None,
     ) -> dict[str, Any]:
         """Submit and block until ``done``; returns the done message.
 
@@ -198,24 +228,36 @@ class ServiceClient:
         the server has cancelled our pending work on disconnect, and the
         caller decides whether to retry the whole plan (a retry is cheap —
         completed digests are served from the daemon's memo).
+
+        A ``rejected`` answer (admission control, protocol v2) is honored
+        by sleeping at least the server's ``retry_after`` — and at least
+        this client's own backoff for the attempt — then resubmitting, up
+        to :attr:`rejection_limit` times.  Rejections do not consume
+        connection-retry attempts: being told "later" is flow control, not
+        a fault.
         """
 
-        for attempt in range(self.connect_retries + 1):
+        rejections = 0
+        attempt = 0
+        while attempt < self.retry_policy.max_attempts:
             if self._sock is None:
                 self.connect()
             try:
-                sid = self.submit_nowait(requests)
+                sid = self.submit_nowait(requests, deadline=deadline)
             except ServiceError:
-                if attempt == self.connect_retries:
+                attempt += 1
+                if attempt >= self.retry_policy.max_attempts:
                     raise
                 self.close()
                 continue
             accepted = False
+            rejected = False
             while True:
                 try:
                     event = self.read_event()
                 except ServiceError:
-                    if accepted or attempt == self.connect_retries:
+                    attempt += 1
+                    if accepted or attempt >= self.retry_policy.max_attempts:
                         raise
                     self.close()
                     break
@@ -226,10 +268,27 @@ class ServiceClient:
                 kind = event.get("type")
                 if kind == "accepted":
                     accepted = True
+                elif kind == "rejected":
+                    rejections += 1
+                    if rejections > self.rejection_limit:
+                        raise ServiceError(
+                            f"service kept rejecting submission "
+                            f"({event.get('reason')}: {event.get('message')}) "
+                            f"after {self.rejection_limit} retries"
+                        )
+                    retry_after = float(event.get("retry_after") or 0.0)
+                    backoff = self.retry_policy.delay(
+                        min(rejections - 1, self.retry_policy.retries)
+                    )
+                    self._sleep(max(retry_after, backoff))
+                    rejected = True
+                    break
                 elif kind == "done":
                     return event
                 elif kind == "error":
                     raise ServiceError(f"service rejected submission: {event.get('message')}")
+            if rejected:
+                continue  # backed off; resubmit without burning an attempt
             # fell out of the read loop pre-acceptance: reconnect + resubmit
         raise ServiceError("submission retries exhausted")  # pragma: no cover
 
@@ -270,6 +329,7 @@ def run_plan(
     plan: SimPlan,
     *,
     on_event: Optional[EventCallback] = None,
+    deadline: Optional[float] = None,
 ) -> BatchResult:
     """Execute ``plan`` through the service; results keyed by local digests.
 
@@ -288,7 +348,13 @@ def run_plan(
     if not requests:
         return batch
 
-    done = client.submit(requests, on_event=on_event)
+    def counting_on_event(event: dict[str, Any]) -> None:
+        if event.get("type") == "rejected":
+            stats.rejected += 1
+        if on_event is not None:
+            on_event(event)
+
+    done = client.submit(requests, on_event=counting_on_event, deadline=deadline)
     outcomes = done.get("outcomes")
     if not isinstance(outcomes, list) or len(outcomes) != len(requests):
         raise ServiceProtocolError(
@@ -329,9 +395,17 @@ class ServiceEngine:
     special-casing.
     """
 
-    def __init__(self, address: str, *, timeout: Optional[float] = 600.0) -> None:
+    def __init__(
+        self,
+        address: str,
+        *,
+        timeout: Optional[float] = 600.0,
+        deadline: Optional[float] = None,
+    ) -> None:
         self.address = address
         self.client = ServiceClient(address, timeout=timeout)
+        #: Per-``run`` submission deadline forwarded to the daemon.
+        self.deadline = deadline
         self.stats = EngineStats(runner="service")
 
     def run(self, plan: SimPlan, *, progress: bool = False) -> BatchResult:
@@ -343,7 +417,7 @@ class ServiceEngine:
                         f"  [service] {event['completed']}/{event['total']} resolved",
                         file=sys.stderr,
                     )
-        batch = run_plan(self.client, plan, on_event=on_event)
+        batch = run_plan(self.client, plan, on_event=on_event, deadline=self.deadline)
         self.stats.merge(batch.stats)
         return batch
 

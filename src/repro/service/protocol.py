@@ -7,6 +7,9 @@ message carries a ``"type"`` field naming its meaning.
 Client → server
     ``hello``      optional handshake; answered with ``welcome``.
     ``submit``     ``{"id": <client id>, "requests": [<wire request>, ...]}``
+                   plus an optional ``"deadline"`` (seconds): after that
+                   budget the server fails the submission's unresolved
+                   requests instead of keeping it waiting forever.
     ``stats``      global server counters; answered with ``stats``.
     ``ping``       liveness probe; answered with ``pong``.
     ``shutdown``   ask the server to drain and exit (same as SIGTERM).
@@ -15,6 +18,13 @@ Server → client
     ``welcome``        protocol version, code fingerprint, worker count.
     ``accepted``       per-submission plan accounting (unique, memo/cache
                        hits, joined in-flight digests, scheduled chunks).
+    ``rejected``       admission control refused the submission (``reason``
+                       is ``"quota"`` or ``"queue"``); nothing was
+                       scheduled.  Carries ``retry_after`` seconds — a
+                       well-behaved client backs off at least that long and
+                       resubmits (``ServiceClient.submit`` does, through
+                       its :class:`~repro.resilience.RetryPolicy`).
+                       Protocol v2.
     ``chunk-started``  a chunk containing digests this submission waits on
                        began executing (carries a global ``seq`` so clients
                        can observe dispatch order).
@@ -52,7 +62,9 @@ from ..errors import ServiceProtocolError
 from ..sim.engine import SimRequest
 
 #: Protocol revision; bumped on any incompatible message change.
-PROTOCOL_VERSION = 1
+#: v2 added admission control: the ``rejected`` server message and the
+#: optional ``deadline`` field on ``submit``.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one encoded message line (and the server's readline
 #: limit).  Large sweep submissions with full nested configs stay well

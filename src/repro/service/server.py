@@ -21,7 +21,17 @@ Robustness guarantees (exercised by the fault-injection tests):
   while singleflight work shared with other clients survives;
 * SIGTERM/SIGINT (or a ``shutdown`` message) drains: queued and running
   chunks finish, every pending submission receives its ``done``, new
-  submissions are refused, then the process exits.
+  submissions are refused, then the process exits;
+* **admission control** (protocol v2): a client whose in-flight request
+  count would exceed ``--max-inflight``, or any submission arriving while
+  the scheduler already holds ``--max-queued-chunks`` chunks, is answered
+  with ``rejected`` + ``retry_after`` instead of being queued — one greedy
+  client cannot starve the rest, and the queue cannot grow without bound;
+* **per-submission deadlines**: a ``deadline`` on the submit message (or
+  ``--request-deadline`` as the default) bounds how long a submission may
+  wait; on expiry its unresolved requests fail with a retryable label,
+  its un-shared queued work is cancelled, and work shared with other
+  clients (or already running) continues and warms the caches.
 """
 
 from __future__ import annotations
@@ -55,6 +65,9 @@ from .singleflight import SingleflightTable
 #: failed to their waiters (1 first try + 2 crash retries).
 DEFAULT_MAX_ATTEMPTS = 3
 
+#: Default ``retry_after`` hint (seconds) carried on ``rejected`` messages.
+DEFAULT_RETRY_AFTER = 0.5
+
 
 @dataclass
 class ServiceStats:
@@ -76,6 +89,12 @@ class ServiceStats:
     cancelled: int = 0
     crashes: int = 0
     requeued: int = 0
+    #: Submissions refused because the client exceeded its in-flight quota.
+    rejected_quota: int = 0
+    #: Submissions refused because the chunk queue was at capacity.
+    rejected_queue: int = 0
+    #: Requests failed to their submission because its deadline expired.
+    expired: int = 0
     chunks_dispatched: int = 0
     trace_hits: int = 0
     trace_built: int = 0
@@ -143,6 +162,9 @@ class _Submission:
                 self.unique.append(request)
         self.outcomes: dict[str, dict[str, Any]] = {}
         self.remaining: set[str] = set()
+        #: Deadline timer (``loop.call_later`` handle) when one applies.
+        self.deadline_handle: Optional[asyncio.TimerHandle] = None
+        self.deadline_seconds: Optional[float] = None
         self.counts: dict[str, Any] = {
             "submitted": len(requests),
             "unique": len(self.unique),
@@ -163,6 +185,11 @@ class _Submission:
         self.outcomes[digest] = outcome
         self.remaining.discard(digest)
         return not self.remaining
+
+    def cancel_deadline(self) -> None:
+        if self.deadline_handle is not None:
+            self.deadline_handle.cancel()
+            self.deadline_handle = None
 
     @property
     def total(self) -> int:
@@ -190,12 +217,27 @@ class ReproServer:
         trace_store: Optional[str] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        max_inflight: Optional[int] = None,
+        max_queued_chunks: Optional[int] = None,
+        request_deadline: Optional[float] = None,
+        retry_after: float = DEFAULT_RETRY_AFTER,
     ) -> None:
         self.host = host
         self.port = port
         self.unix_path = unix_path
         self.chunk_size = chunk_size
         self.max_attempts = max(1, max_attempts)
+        #: Per-client cap on in-flight unique requests.  A client with no
+        #: in-flight work is always admitted (otherwise a plan larger than
+        #: the quota could never run); further submissions are rejected
+        #: while outstanding + new would exceed the cap.
+        self.max_inflight = max_inflight
+        #: Global cap on queued (not yet running) chunks; submissions
+        #: arriving at a full queue are rejected with ``retry_after``.
+        self.max_queued_chunks = max_queued_chunks
+        #: Default per-submission deadline when the client names none.
+        self.request_deadline = request_deadline
+        self.retry_after = retry_after
         self.cache = ResultCache(cache_dir) if cache_dir else None
         store = trace_store_from_spec(trace_store)
         self.pool = ChunkPool(
@@ -348,6 +390,7 @@ class ReproServer:
         self._connections.discard(conn)
         orphaned: set[str] = set()
         for submission in conn.submissions.values():
+            submission.cancel_deadline()
             for digest in list(submission.remaining):
                 if self._flights.leave(digest, submission):
                     orphaned.add(digest)
@@ -372,6 +415,20 @@ class ReproServer:
             requests = [request_from_wire(item) for item in wire_requests]
         except (KeyError, ServiceProtocolError) as error:
             conn.send({"type": "error", "id": sid, "message": str(error)})
+            return
+
+        rejection = self._admission_check(conn, len(requests))
+        if rejection is not None:
+            reason, detail = rejection
+            conn.send(
+                {
+                    "type": "rejected",
+                    "id": sid,
+                    "reason": reason,
+                    "message": detail,
+                    "retry_after": self.retry_after,
+                }
+            )
             return
 
         submission = _Submission(conn, sid, requests)
@@ -431,9 +488,85 @@ class ReproServer:
         )
         if not submission.remaining:
             self._finish_submission(submission)
+        else:
+            deadline = message.get("deadline")
+            effective = float(deadline) if deadline is not None else self.request_deadline
+            if effective is not None:
+                submission.deadline_seconds = effective
+                submission.deadline_handle = asyncio.get_running_loop().call_later(
+                    effective, self._expire_submission, submission
+                )
         self._pump()
 
+    def _admission_check(
+        self, conn: _Connection, incoming: int
+    ) -> Optional[tuple[str, str]]:
+        """Return ``(reason, detail)`` when a submission must be rejected.
+
+        Quota: a client with outstanding work may not push its in-flight
+        request count past ``max_inflight`` (a client with *no* outstanding
+        work is always admitted, so a plan larger than the quota still
+        runs).  Queue: nobody is admitted while the scheduler already holds
+        ``max_queued_chunks`` chunks.  Both are pure backpressure — the
+        client backs off ``retry_after`` seconds and resubmits.
+        """
+
+        if self.max_inflight is not None:
+            outstanding = sum(
+                len(submission.remaining)
+                for submission in conn.submissions.values()
+            )
+            if outstanding > 0 and outstanding + incoming > self.max_inflight:
+                self.stats.rejected_quota += 1
+                return (
+                    "quota",
+                    f"client has {outstanding} requests in flight; "
+                    f"{incoming} more would exceed the quota of {self.max_inflight}",
+                )
+        if self.max_queued_chunks is not None and len(self._scheduler) >= self.max_queued_chunks:
+            self.stats.rejected_queue += 1
+            return (
+                "queue",
+                f"{len(self._scheduler)} chunks queued (limit {self.max_queued_chunks})",
+            )
+        return None
+
+    def _expire_submission(self, submission: _Submission) -> None:
+        """Deadline fired: fail what is unresolved, cancel un-shared work.
+
+        Digests shared with other submissions — or already running — keep
+        executing and warm the memo/cache; only queued work that nobody
+        else waits on is discarded.  The expired submission receives
+        ``failed`` outcomes with a retryable label and its ``done``.
+        """
+
+        submission.deadline_handle = None
+        if submission.conn.submissions.get(submission.sid) is not submission:
+            return  # already finished
+        by_digest = {request.digest: request for request in submission.unique}
+        orphaned: set[str] = set()
+        expired = list(submission.remaining)
+        for digest in expired:
+            if self._flights.leave(digest, submission):
+                orphaned.add(digest)
+        removed = self._scheduler.discard_digests(orphaned)
+        self.stats.cancelled += len(removed)
+        self.stats.expired += len(expired)
+        for digest in expired:
+            request = by_digest[digest]
+            failure = (
+                f"{request.workload}/{request.mode}: deadline exceeded "
+                f"({submission.deadline_seconds:g}s budget in service)"
+            )
+            counts = submission.counts
+            counts["failed"] += 1
+            counts["failures"][failure] = counts["failures"].get(failure, 0) + 1
+            submission.deliver(digest, {"status": "failed", "failure": failure})
+        self._finish_submission(submission)
+        self._maybe_finish_drain()
+
     def _finish_submission(self, submission: _Submission) -> None:
+        submission.cancel_deadline()
         submission.conn.send(
             {
                 "type": "done",
@@ -595,6 +728,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-attempts", type=int, default=DEFAULT_MAX_ATTEMPTS,
                         help="execution attempts per chunk before its requests fail "
                              f"(default {DEFAULT_MAX_ATTEMPTS})")
+    parser.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                        help="per-client in-flight request quota; further submissions "
+                             "are rejected with retry_after (default: unlimited)")
+    parser.add_argument("--max-queued-chunks", type=int, default=None, metavar="N",
+                        help="reject submissions while this many chunks are queued "
+                             "(default: unlimited)")
+    parser.add_argument("--request-deadline", type=float, default=None, metavar="SECONDS",
+                        help="default per-submission deadline; expired submissions get "
+                             "retryable failures (default: none)")
+    parser.add_argument("--retry-after", type=float, default=DEFAULT_RETRY_AFTER,
+                        help="backoff hint carried on rejected submissions "
+                             f"(default {DEFAULT_RETRY_AFTER}s)")
     return parser
 
 
@@ -608,6 +753,10 @@ async def _serve(args: argparse.Namespace) -> None:
         trace_store=args.trace_store,
         chunk_size=args.chunk_size,
         max_attempts=args.max_attempts,
+        max_inflight=args.max_inflight,
+        max_queued_chunks=args.max_queued_chunks,
+        request_deadline=args.request_deadline,
+        retry_after=args.retry_after,
     )
     await server.start()
     loop = asyncio.get_running_loop()

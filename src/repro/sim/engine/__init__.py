@@ -21,12 +21,21 @@ Quickstart::
 
 from ...trace_store import TraceStore, TraceStoreStats, default_trace_store
 from .cache import UNAVAILABLE, ResultCache
+from .checkpoint import (
+    CHECKPOINT_DIR_ENV,
+    ManifestEntry,
+    RunManifest,
+    default_checkpoint_dir,
+    plan_fingerprint,
+)
 from .core import BatchResult, EngineStats, SimEngine
 from .plan import SimPlan
 from .request import POLICY_REGISTRY, SimRequest, resolve_policy
 from .runner import (
+    DEADLINE_FAILURE_TEXT,
     ExecutedRequest,
     MultiprocessRunner,
+    ResilienceStats,
     Runner,
     SerialRunner,
     execute_group,
@@ -35,6 +44,13 @@ from .runner import (
 )
 
 __all__ = [
+    "CHECKPOINT_DIR_ENV",
+    "DEADLINE_FAILURE_TEXT",
+    "ManifestEntry",
+    "ResilienceStats",
+    "RunManifest",
+    "default_checkpoint_dir",
+    "plan_fingerprint",
     "SimRequest",
     "SimPlan",
     "Runner",

@@ -1,0 +1,337 @@
+"""Deterministic chaos tests: kill/resume, hung workers, admission control.
+
+Like ``tests/test_service_faults.py``, synchronisation is via hold-files,
+protocol events, and bounded polling of counters the code under test
+reports — never via sleeps that assume an ordering.  Each test injects one
+failure mode and proves the stack degrades the way ``docs/resilience.md``
+promises:
+
+* a sweep killed mid-run resumes from its checkpoint manifest, executing
+  only the missing requests with bit-identical results;
+* a hung worker is detected by the heartbeat watchdog, killed, and its
+  chunk requeued until it succeeds;
+* a client over its in-flight quota (or a full queue) gets ``rejected`` +
+  ``retry_after`` and completes after backing off, while other clients'
+  traffic is unaffected;
+* a submission past its deadline fails promptly with a retryable label.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.service import ServiceClient
+from repro.sim.engine import (
+    DEADLINE_FAILURE_TEXT,
+    MultiprocessRunner,
+    ResultCache,
+    SerialRunner,
+    SimEngine,
+    SimPlan,
+    SimRequest,
+)
+
+from service_utils import SVC_TEST_DIR_ENV, ServerThread, registered_test_workloads
+from test_service_faults import read_until, request_for, wait_for_counter
+
+
+@pytest.fixture
+def svc_dir(tmp_path, monkeypatch):
+    directory = tmp_path / "svc"
+    directory.mkdir()
+    monkeypatch.setenv(SVC_TEST_DIR_ENV, str(directory))
+    return directory
+
+
+def intsort_request(seed: int = 42, mode: str = "none") -> SimRequest:
+    return SimRequest(
+        workload="intsort", mode=mode, scale="tiny", seed=seed,
+        config=SystemConfig.scaled(),
+    )
+
+
+# -------------------------------------------------------- kill-9 and resume
+
+
+class KillAfter(SerialRunner):
+    """A serial runner that dies (like ``kill -9``) after N completions.
+
+    The interrupt fires *inside* the completion callback chain — after the
+    engine has banked the finished request in the cache and the manifest,
+    exactly the durability point a real kill would test.
+    """
+
+    def __init__(self, stop_after: int, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.stop_after = stop_after
+        self.completed = 0
+
+    def run(self, requests, *, on_executed=None, deadline=None):
+        def tap(batch):
+            if on_executed is not None:
+                on_executed(batch)
+            self.completed += len(batch)
+            if self.completed >= self.stop_after:
+                raise KeyboardInterrupt("simulated kill -9")
+
+        return super().run(requests, on_executed=tap, deadline=deadline)
+
+
+class TestKillResume:
+    PLAN_POINTS = [("intsort", "none"), ("intsort", "stride"),
+                   ("randacc", "none"), ("randacc", "stride")]
+
+    def _plan(self) -> SimPlan:
+        config = SystemConfig.scaled()
+        return SimPlan(
+            SimRequest(workload=w, mode=m, scale="tiny", seed=3, config=config)
+            for w, m in self.PLAN_POINTS
+        )
+
+    def test_killed_sweep_resumes_exactly_once_bit_identical(self, tmp_path):
+        killed = 2
+        cache_dir = tmp_path / "cache"
+        ckpt_dir = tmp_path / "ckpt"
+
+        # An uninterrupted reference run in separate directories.
+        reference = SimEngine(runner=SerialRunner(trace_store=None)).run(self._plan())
+
+        # The doomed run dies after `killed` completions...
+        doomed = SimEngine(
+            runner=KillAfter(killed, trace_store=None),
+            cache=ResultCache(cache_dir),
+            checkpoint_dir=ckpt_dir,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            doomed.run(self._plan())
+
+        # ...but everything completed before the kill is already durable.
+        survivors = ResultCache(cache_dir)
+        banked = [d for d, _ in self._plan().items() if survivors.get(d) is not None]
+        assert len(banked) == killed
+
+        # The resume executes only the missing requests, bit-identically.
+        resumed = SimEngine(
+            runner=SerialRunner(trace_store=None),
+            cache=ResultCache(cache_dir),
+            checkpoint_dir=ckpt_dir,
+            resume=True,
+        ).run(self._plan())
+        assert resumed.stats.resumed == killed
+        assert resumed.stats.executed == len(self.PLAN_POINTS) - killed
+        assert len(resumed) == len(reference)
+        for digest in reference.results:
+            assert resumed[digest].as_dict() == reference[digest].as_dict()
+
+        # A second resume is fully warm: nothing executes at all.
+        again = SimEngine(
+            runner=SerialRunner(trace_store=None),
+            cache=ResultCache(cache_dir),
+            checkpoint_dir=ckpt_dir,
+            resume=True,
+        ).run(self._plan())
+        assert again.stats.executed == 0
+        assert again.stats.resumed == len(self.PLAN_POINTS)
+
+
+# ------------------------------------------------------ hung-worker watchdog
+
+
+class TestHungWorkerWatchdog:
+    def test_hung_worker_is_killed_and_chunk_requeued(self, svc_dir):
+        hold = svc_dir / "hold-401"
+        hold.touch()
+        with registered_test_workloads():
+            # The gated request blocks without ever heartbeating; three
+            # intsort requests form further chunks so the watchdog path
+            # (not the serial fallback) executes.
+            requests = [request_for("svcgate", seed=401)] + [
+                intsort_request(seed=s) for s in (11, 12, 13)
+            ]
+            runner = MultiprocessRunner(
+                workers=2, trace_store=None, hang_timeout=0.3, max_attempts=10,
+            )
+            executed: list = []
+            failure: list[BaseException] = []
+
+            def drive() -> None:
+                try:
+                    executed.extend(runner.run(requests))
+                except BaseException as error:  # pragma: no cover
+                    failure.append(error)
+
+            thread = threading.Thread(target=drive)
+            thread.start()
+            try:
+                # Bounded poll of the watchdog's own counter: the gated
+                # worker must be declared hung within the configured
+                # timeout.  Only then release the gate so the requeued
+                # attempt can succeed.
+                deadline = time.monotonic() + 60.0
+                while runner.resilience.hung_killed < 1:
+                    assert time.monotonic() < deadline, "watchdog never fired"
+                    assert not failure, failure
+                    time.sleep(0.01)
+                hold.unlink()
+            finally:
+                thread.join(timeout=120.0)
+            assert not thread.is_alive(), "runner never completed"
+            assert failure == []
+
+            assert runner.resilience.hung_killed >= 1
+            assert runner.resilience.requeues >= 1
+            outcomes = {digest: (result, fail) for digest, result, fail in executed}
+            assert len(outcomes) == len(requests)
+            assert all(fail is None for _, fail in outcomes.values())
+
+            # The survivors are bit-identical to a serial run of the same set.
+            serial = SerialRunner(trace_store=None).run(requests)
+            for digest, result, _ in serial:
+                assert outcomes[digest][0].as_dict() == result.as_dict()
+
+
+# ------------------------------------------------------------- deadlines
+
+
+class TestDeadlines:
+    def test_expired_engine_deadline_fails_requests_with_retryable_label(self):
+        engine = SimEngine(runner=SerialRunner(trace_store=None), deadline=0.0)
+        batch = engine.run(SimPlan([intsort_request(seed=21),
+                                    intsort_request(seed=22)]))
+        assert batch.stats.executed == 2
+        assert batch.stats.failed == 2
+        assert batch.stats.expired == 2
+        assert len(batch) == 0
+        assert all(DEADLINE_FAILURE_TEXT in label for label in batch.stats.failures)
+
+    def test_expired_deadline_failures_are_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        engine = SimEngine(
+            runner=SerialRunner(trace_store=None), cache=cache, deadline=0.0
+        )
+        request = intsort_request(seed=23)
+        engine.run(SimPlan([request]))
+        assert cache.get(request.digest) is None
+
+        # The same cache serves a later, unbounded run normally.
+        retry = SimEngine(runner=SerialRunner(trace_store=None), cache=cache)
+        batch = retry.run(SimPlan([request]))
+        assert batch.stats.executed == 1 and not batch.failures
+
+    def test_service_submission_deadline_expires_gated_work(self, svc_dir):
+        hold = svc_dir / "hold-431"
+        hold.touch()
+        with registered_test_workloads():
+            with ServerThread(workers=1) as daemon:
+                with ServiceClient(daemon.address, timeout=120.0) as client:
+                    sid = client.submit_nowait(
+                        [request_for("svcgate", seed=431)], deadline=0.2
+                    )
+                    read_until(client, "accepted", sid)
+                    # The gate never opens, so only the deadline can finish
+                    # this submission — `done` arriving at all proves expiry.
+                    done = read_until(client, "done", sid)
+                    (outcome,) = done["outcomes"]
+                    assert outcome["status"] == "failed"
+                    assert DEADLINE_FAILURE_TEXT in outcome["failure"]
+                counters = wait_for_counter(daemon.address, "expired", 1)
+                assert counters["expired"] >= 1
+                # Release the gate so the daemon can drain and stop.
+                hold.unlink()
+
+
+# ------------------------------------------------------- admission control
+
+
+class TestAdmissionControl:
+    def test_quota_rejection_backoff_and_recovery(self, svc_dir):
+        hold = svc_dir / "hold-411"
+        hold.touch()
+        with registered_test_workloads():
+            with ServerThread(workers=2, max_inflight=1, retry_after=0.01) as daemon:
+                greedy = ServiceClient(daemon.address, timeout=120.0)
+                bystander = ServiceClient(daemon.address, timeout=120.0)
+
+                # The greedy client's gated request occupies its whole quota.
+                sid1 = greedy.submit_nowait([request_for("svcgate", seed=411)])
+                read_until(greedy, "accepted", sid1)
+                read_until(greedy, "chunk-started", sid1)
+
+                # Its next submission is refused — with a backoff hint, and
+                # without anything being scheduled.
+                sid2 = greedy.submit_nowait([intsort_request(seed=31)])
+                rejection = read_until(greedy, "rejected", sid2)
+                assert rejection["reason"] == "quota"
+                assert rejection["retry_after"] > 0
+
+                # Another client is unaffected: zero outstanding work means
+                # always admitted, and the second worker serves it while the
+                # gated chunk still blocks the first.
+                done_b = bystander.submit([intsort_request(seed=32)])
+                (outcome_b,) = done_b["outcomes"]
+                assert outcome_b["status"] == "ok"
+
+                # Once the gate opens the greedy client drains...
+                hold.unlink()
+                done1 = read_until(greedy, "done", sid1)
+                assert done1["outcomes"][0]["status"] == "ok"
+
+                # ...and its resubmission is admitted normally.
+                sid3 = greedy.submit_nowait([intsort_request(seed=31)])
+                read_until(greedy, "accepted", sid3)
+                done3 = read_until(greedy, "done", sid3)
+                assert done3["outcomes"][0]["status"] == "ok"
+
+                counters = wait_for_counter(daemon.address, "rejected_quota", 1)
+                assert counters["rejected_quota"] >= 1
+                greedy.close()
+                bystander.close()
+
+    def test_queue_backpressure_client_retries_after_hint(self, svc_dir):
+        hold = svc_dir / "hold-421"
+        hold.touch()
+        with registered_test_workloads():
+            with ServerThread(workers=1, max_queued_chunks=1,
+                              retry_after=0.01) as daemon:
+                filler = ServiceClient(daemon.address, timeout=120.0)
+                # One gated chunk occupies the only worker; one more fills
+                # the queue to its limit.  Both are guaranteed stuck while
+                # the hold-file exists, so the rejection below is
+                # deterministic, not a race.
+                sid1 = filler.submit_nowait([request_for("svcgate", seed=421)])
+                read_until(filler, "accepted", sid1)
+                read_until(filler, "chunk-started", sid1)
+                sid2 = filler.submit_nowait([intsort_request(seed=33)])
+                read_until(filler, "accepted", sid2)
+
+                latecomer = ServiceClient(daemon.address, timeout=120.0)
+                sleeps: list[float] = []
+                real_sleep = latecomer._sleep
+                latecomer._sleep = lambda s: (sleeps.append(s), real_sleep(s))
+                rejected_events: list[dict] = []
+
+                def on_event(event: dict) -> None:
+                    if event.get("type") == "rejected":
+                        rejected_events.append(event)
+                        # Open the gate from inside the event stream: the
+                        # client backs off and resubmits into a draining
+                        # queue, eventually getting admitted.
+                        hold.unlink(missing_ok=True)
+
+                done = latecomer.submit([intsort_request(seed=34)], on_event=on_event)
+                (outcome,) = done["outcomes"]
+                assert outcome["status"] == "ok"
+                assert rejected_events and rejected_events[0]["reason"] == "queue"
+                # Every backoff honored at least the server's hint.
+                assert sleeps and all(s >= 0.01 for s in sleeps)
+
+                done2 = read_until(filler, "done", sid2)
+                assert done2["outcomes"][0]["status"] == "ok"
+                counters = wait_for_counter(daemon.address, "rejected_queue", 1)
+                assert counters["rejected_queue"] >= 1
+                filler.close()
+                latecomer.close()

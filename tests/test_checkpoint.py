@@ -1,0 +1,248 @@
+"""Tests for the run-manifest checkpoint tier and engine resume semantics.
+
+The manifest is an *index* over the result cache, never a second copy of
+data: these tests pin its on-disk robustness (atomicity, lazy creation,
+corrupt/foreign files reading as "no progress", dead-writer sweeps) and the
+resume contract — a killed run re-invoked with ``resume=True`` executes
+only the missing requests and produces bit-identical results.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.sim.engine import (
+    ManifestEntry,
+    ResultCache,
+    RunManifest,
+    SerialRunner,
+    SimEngine,
+    SimPlan,
+    SimRequest,
+    plan_fingerprint,
+)
+from repro.sim.engine.checkpoint import (
+    MANIFEST_SUFFIX,
+    MANIFEST_VERSION,
+    manifest_paths,
+    read_manifest,
+)
+
+WORKLOADS = ["intsort", "randacc"]
+MODES = ["none", "stride", "manual"]
+
+
+def tiny_plan(workloads=WORKLOADS, modes=MODES) -> SimPlan:
+    config = SystemConfig.scaled()
+    return SimPlan(
+        SimRequest(workload=w, mode=m, scale="tiny", seed=3, config=config)
+        for w in workloads
+        for m in modes
+    )
+
+
+def engine_for(tmp_path, *, resume=False, cache=True) -> SimEngine:
+    return SimEngine(
+        runner=SerialRunner(trace_store=None),
+        cache=ResultCache(tmp_path / "cache") if cache else None,
+        checkpoint_dir=tmp_path / "ckpt",
+        resume=resume,
+    )
+
+
+class TestPlanFingerprint:
+    def test_order_and_duplicate_independent(self):
+        digests = ["b" * 64, "a" * 64, "c" * 64]
+        assert plan_fingerprint(digests) == plan_fingerprint(reversed(digests))
+        assert plan_fingerprint(digests) == plan_fingerprint(digests + digests)
+
+    def test_distinguishes_plans(self):
+        assert plan_fingerprint(["a" * 64]) != plan_fingerprint(["b" * 64])
+
+
+class TestRunManifest:
+    def test_lazy_creation_records_and_round_trips(self, tmp_path):
+        manifest = RunManifest(tmp_path, ["d1", "d2", "d3"])
+        assert not manifest.path.exists()  # nothing recorded → nothing written
+        manifest.record_batch([("d1", "ok", None), ("d2", "failed", "w/m: boom")])
+        assert manifest.path.exists()
+        assert manifest.path.name == f"{manifest.fingerprint}{MANIFEST_SUFFIX}"
+
+        prior = RunManifest(tmp_path, ["d3", "d2", "d1"]).load_prior()
+        assert prior == {
+            "d1": ManifestEntry("ok"),
+            "d2": ManifestEntry("failed", "w/m: boom"),
+        }
+
+    def test_empty_record_batch_writes_nothing(self, tmp_path):
+        manifest = RunManifest(tmp_path, ["d1"])
+        manifest.record_batch([])
+        assert not manifest.path.exists()
+
+    def test_unknown_status_rejected(self, tmp_path):
+        manifest = RunManifest(tmp_path, ["d1"])
+        with pytest.raises(ValueError):
+            manifest.record_batch([("d1", "exploded", None)])
+
+    def test_corrupt_version_skew_and_foreign_manifests_read_empty(self, tmp_path):
+        manifest = RunManifest(tmp_path, ["d1"])
+        manifest.record_batch([("d1", "ok", None)])
+
+        # Truncated JSON.
+        manifest.path.write_text("{\"version\": 1, \"entr")
+        assert manifest.load_prior() == {}
+        assert read_manifest(manifest.path) is None
+
+        # A future format version is not guessed at.
+        manifest.path.write_text(json.dumps({
+            "version": MANIFEST_VERSION + 1, "plan": manifest.fingerprint,
+            "entries": {"d1": {"status": "ok"}},
+        }))
+        assert manifest.load_prior() == {}
+
+        # Another plan's manifest at this path is not our progress.
+        manifest.path.write_text(json.dumps({
+            "version": MANIFEST_VERSION, "plan": "f" * 64,
+            "entries": {"d1": {"status": "ok"}},
+        }))
+        assert manifest.load_prior() == {}
+
+        # Junk statuses are dropped entry-by-entry, not fatal.
+        manifest.path.write_text(json.dumps({
+            "version": MANIFEST_VERSION, "plan": manifest.fingerprint,
+            "entries": {"d1": {"status": "ok"}, "d2": {"status": "junk"}, "d3": 7},
+        }))
+        assert manifest.load_prior() == {"d1": ManifestEntry("ok")}
+
+    def test_manifest_paths_lists_only_manifests(self, tmp_path):
+        manifest = RunManifest(tmp_path, ["d1"])
+        manifest.record_batch([("d1", "ok", None)])
+        (tmp_path / "stray.json").write_text("{}")
+        assert manifest_paths(tmp_path) == [manifest.path]
+
+
+class TestDeadWriterSweep:
+    """The manifest directory sweeps dead writers' temp litter on first write."""
+
+    @staticmethod
+    def _dead_pid() -> int:
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait()
+        return child.pid
+
+    def test_sweeps_modern_and_legacy_tmp_names_keeps_live(self, tmp_path):
+        dead = self._dead_pid()
+        name = f"{'a' * 64}{MANIFEST_SUFFIX}"
+        dead_modern = tmp_path / f"{name}.tmp.{dead}.140210.7"
+        dead_legacy = tmp_path / f"{name}.tmp.{dead}"
+        unparsable = tmp_path / f"{name}.tmp.not-a-pid"
+        for stale in (dead_modern, dead_legacy, unparsable):
+            stale.write_bytes(b"partial")
+
+        manifest = RunManifest(tmp_path, ["d1"])
+        manifest.record_batch([("d1", "ok", None)])
+
+        assert not dead_modern.exists()
+        assert not dead_legacy.exists()
+        assert unparsable.exists()  # unknown provenance: never guess
+        # No litter of our own either: writes are write-then-rename.
+        assert sorted(tmp_path.glob("*.tmp.*")) == [unparsable]
+
+
+class TestEngineResume:
+    def test_full_run_writes_complete_manifest(self, tmp_path):
+        plan = tiny_plan()
+        engine = engine_for(tmp_path)
+        batch = engine.run(plan)
+        assert batch.stats.executed == len(plan)
+
+        (path,) = manifest_paths(tmp_path / "ckpt")
+        data = read_manifest(path)
+        assert data is not None
+        assert data["plan"] == plan_fingerprint(d for d, _ in plan.items())
+        assert data["requests"] == len(plan)
+        statuses = {entry["status"] for entry in data["entries"].values()}
+        assert len(data["entries"]) == len(plan)
+        assert statuses <= {"ok", "unavailable"}
+
+    def test_resume_executes_nothing_and_is_bit_identical(self, tmp_path):
+        plan = tiny_plan()
+        first = engine_for(tmp_path).run(plan)
+
+        resumed = engine_for(tmp_path, resume=True).run(tiny_plan())
+        assert resumed.stats.executed == 0
+        assert resumed.stats.resumed == len(plan)
+        for digest in first.results:
+            assert resumed[digest].as_dict() == first[digest].as_dict()
+        assert resumed.skipped == first.skipped
+
+    def test_resume_without_cache_reexecutes_ok_entries(self, tmp_path):
+        plan = tiny_plan(workloads=["intsort"], modes=["none", "stride"])
+        engine_for(tmp_path).run(plan)
+
+        # Same manifest, pruned cache: "ok" markers alone are not results.
+        fresh = SimEngine(
+            runner=SerialRunner(trace_store=None),
+            cache=ResultCache(tmp_path / "other-cache"),
+            checkpoint_dir=tmp_path / "ckpt",
+            resume=True,
+        )
+        batch = fresh.run(tiny_plan(workloads=["intsort"], modes=["none", "stride"]))
+        assert batch.stats.executed == len(plan)
+        assert batch.stats.resumed == 0
+        assert len(batch) == len(plan)
+
+    def test_resume_trusts_unavailable_markers_without_cache(self, tmp_path):
+        plan = tiny_plan(workloads=["intsort"], modes=["none"])
+        digests = [digest for digest, _ in plan.items()]
+        manifest = RunManifest(tmp_path / "ckpt", digests)
+        manifest.record_batch([(digest, "unavailable", None) for digest in digests])
+
+        engine = engine_for(tmp_path, resume=True, cache=False)
+        batch = engine.run(plan)
+        assert batch.stats.executed == 0
+        assert batch.stats.resumed == len(plan)
+        assert batch.skipped == set(digests)
+
+    def test_resume_retries_failed_entries(self, tmp_path):
+        plan = tiny_plan(workloads=["intsort"], modes=["none"])
+        digests = [digest for digest, _ in plan.items()]
+        manifest = RunManifest(tmp_path / "ckpt", digests)
+        manifest.record_batch([(digest, "failed", "w/m: transient") for digest in digests])
+
+        engine = engine_for(tmp_path, resume=True)
+        batch = engine.run(plan)
+        # Failures are never sticky: the marked digest executed again.
+        assert batch.stats.executed == len(plan)
+        assert batch.stats.resumed == 0
+        assert not batch.failures
+
+        # ...and the manifest now records the successful outcome.
+        prior = RunManifest(tmp_path / "ckpt", digests).load_prior()
+        assert all(entry.status == "ok" for entry in prior.values())
+
+    def test_partially_warm_run_writes_a_complete_manifest(self, tmp_path):
+        """Cache-hit requests are carried into the new plan's manifest.
+
+        A grown sweep (the old points warm, one new point executed) must
+        leave a manifest covering *all* its requests, or a later resume of
+        the grown plan would re-execute the warm ones after a cache prune
+        believing they never completed.
+        """
+
+        engine_for(tmp_path).run(tiny_plan(workloads=["intsort"], modes=["none", "stride"]))
+
+        grown = tiny_plan(workloads=["intsort"], modes=["none", "stride", "manual"])
+        batch = engine_for(tmp_path).run(grown)
+        assert batch.stats.cache_hits == 2
+        assert batch.stats.executed == 1
+
+        fingerprint = plan_fingerprint(digest for digest, _ in grown.items())
+        data = read_manifest(tmp_path / "ckpt" / f"{fingerprint}{MANIFEST_SUFFIX}")
+        assert data is not None and len(data["entries"]) == len(grown)

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Maintenance CLI for the run-manifest checkpoint directory.
+
+Checkpointed sweeps (`docs/resilience.md`) leave one manifest file per plan
+in the checkpoint directory, recording which requests completed.  Manifests
+of finished sweeps are harmless — a fully-warm resume reads one and
+executes nothing — but the directory only ever grows, so this tool provides
+the hygiene commands (mirroring ``tools/trace_store.py``):
+
+    # What progress records exist?
+    python tools/checkpoints.py ls
+    python tools/checkpoints.py stat
+
+    # Drop manifests not touched in the last 30 days
+    python tools/checkpoints.py prune --older-than 30
+
+All commands accept ``--dir`` to operate on an explicit directory; the
+default follows ``REPRO_CHECKPOINT_DIR`` and the per-user cache location,
+exactly like the engine itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.sim.engine.checkpoint import (  # noqa: E402
+    default_checkpoint_dir,
+    manifest_paths,
+    read_manifest,
+)
+
+
+def _summarise(path: Path) -> dict:
+    """One ls/stat row: counts per status plus plan size and age."""
+
+    data = read_manifest(path)
+    row = {
+        "path": path,
+        "plan": path.name.split(".", 1)[0],
+        "mtime": path.stat().st_mtime,
+        "readable": data is not None,
+        "requests": 0,
+        "ok": 0,
+        "unavailable": 0,
+        "failed": 0,
+    }
+    if data is not None:
+        row["requests"] = int(data.get("requests", 0))
+        for entry in data["entries"].values():
+            status = entry.get("status") if isinstance(entry, dict) else None
+            if status in ("ok", "unavailable", "failed"):
+                row[status] += 1
+    return row
+
+
+def cmd_ls(directory: Path) -> int:
+    paths = manifest_paths(directory) if directory.is_dir() else []
+    if not paths:
+        print(f"{directory}: empty")
+        return 0
+    print(f"{'plan':<16} {'requests':>8} {'ok':>6} {'unavail':>8} {'failed':>7} "
+          f"{'done':>6}  age")
+    now = time.time()
+    for path in paths:
+        row = _summarise(path)
+        if not row["readable"]:
+            print(f"{row['plan'][:16]:<16} {'<unreadable>':>8}")
+            continue
+        recorded = row["ok"] + row["unavailable"] + row["failed"]
+        done = 100.0 * recorded / row["requests"] if row["requests"] else 0.0
+        age_days = (now - row["mtime"]) / 86400
+        print(
+            f"{row['plan'][:16]:<16} {row['requests']:>8} {row['ok']:>6} "
+            f"{row['unavailable']:>8} {row['failed']:>7} {done:>5.0f}%  {age_days:.1f}d"
+        )
+    return 0
+
+
+def cmd_stat(directory: Path) -> int:
+    paths = manifest_paths(directory) if directory.is_dir() else []
+    rows = [_summarise(path) for path in paths]
+    complete = sum(
+        1
+        for row in rows
+        if row["readable"]
+        and row["requests"]
+        and row["ok"] + row["unavailable"] + row["failed"] >= row["requests"]
+        and not row["failed"]
+    )
+    print(f"directory:    {directory}")
+    print(f"manifests:    {len(rows)} "
+          f"({sum(1 for r in rows if not r['readable'])} unreadable)")
+    print(f"complete:     {complete} (all requests ok/unavailable)")
+    print(f"with failures:{sum(1 for r in rows if r['failed']):>2}")
+    total = sum(row["path"].stat().st_size for row in rows)
+    print(f"total size:   {total} B")
+    return 0
+
+
+def cmd_prune(directory: Path, older_than_days: float, dry_run: bool) -> int:
+    cutoff = time.time() - older_than_days * 86400
+    paths = manifest_paths(directory) if directory.is_dir() else []
+    doomed = [path for path in paths if path.stat().st_mtime < cutoff]
+    noun = "manifest" if len(doomed) == 1 else "manifests"
+    if dry_run:
+        print(f"would remove {len(doomed)} {noun} older than {older_than_days:g} days")
+        return 0
+    removed = 0
+    for path in doomed:
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    print(f"removed {removed} {noun} older than {older_than_days:g} days")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--dir", default=None, metavar="DIR",
+                        help="checkpoint directory (default: $REPRO_CHECKPOINT_DIR "
+                             "or the per-user cache directory)")
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("ls", help="list every run manifest and its progress")
+    commands.add_parser("stat", help="aggregate checkpoint statistics")
+    prune = commands.add_parser("prune", help="remove manifests older than a window")
+    prune.add_argument("--older-than", type=float, required=True, metavar="DAYS",
+                       help="remove manifests not modified in the last DAYS days")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="report what would be removed without deleting")
+    args = parser.parse_args(argv)
+
+    directory = Path(args.dir) if args.dir else default_checkpoint_dir()
+    if args.command == "ls":
+        return cmd_ls(directory)
+    if args.command == "stat":
+        return cmd_stat(directory)
+    return cmd_prune(directory, args.older_than, args.dry_run)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
