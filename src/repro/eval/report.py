@@ -104,18 +104,36 @@ def build_engine(
     ``max_attempts`` bounds how often the parallel runner requeues a chunk
     whose worker hung or crashed.
 
-    ``service`` short-circuits everything else: instead of simulating
-    locally, return a :class:`~repro.service.ServiceEngine` that submits
-    plans to a running ``repro serve`` daemon at that address
-    (``host:port`` or ``unix:/path``).  The daemon owns its own cache,
-    trace store and workers, so of the local knobs only ``deadline``
-    applies (forwarded as the per-submission deadline).
+    ``service`` routes execution to the service fabric: a
+    :class:`~repro.service.ServiceEngine` submitting plans to ``repro
+    serve`` daemons at an ordered endpoint list (``ADDR[,ADDR...]``, each
+    ``host:port`` or ``unix:/path``), failing over between them.  The
+    daemons own their own caches, trace stores and workers — but the local
+    knobs are *not* dead weight: ``deadline`` is forwarded as the
+    per-submission deadline, and all of them configure the local fallback
+    engine the service engine degrades to when every endpoint is
+    unreachable (so a degraded run still honors ``--cache``,
+    ``--checkpoint`` and ``--resume``).
     """
 
     if service is not None:
         from ..service import ServiceEngine
 
-        return ServiceEngine(service, deadline=deadline)
+        def local_engine_factory() -> SimEngine:
+            return build_engine(
+                parallel=parallel,
+                workers=workers,
+                cache_dir=cache_dir,
+                trace_store_dir=trace_store_dir,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+                deadline=deadline,
+                max_attempts=max_attempts,
+            )
+
+        return ServiceEngine(
+            service, deadline=deadline, local_engine_factory=local_engine_factory
+        )
     store = trace_store_from_spec(trace_store_dir)
     if parallel:
         runner_kwargs = {} if max_attempts is None else {"max_attempts": max_attempts}

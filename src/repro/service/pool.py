@@ -90,6 +90,16 @@ class ChunkPool:
         #: crashing together replace the pool exactly once.
         self._generation = 0
 
+    @property
+    def generation(self) -> int:
+        """How many broken executors have been retired (0 = original pool).
+
+        Served on the protocol-v3 ``health`` probe: a climbing generation
+        on a quiet daemon is the fingerprint of crashing workers.
+        """
+
+        return self._generation
+
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(

@@ -12,6 +12,17 @@ Client → server
                    requests instead of keeping it waiting forever.
     ``stats``      global server counters; answered with ``stats``.
     ``ping``       liveness probe; answered with ``pong``.
+    ``health``     readiness probe (protocol v3); answered with ``health``:
+                   uptime, queue depth, in-flight digests, pool
+                   generation, cache/memo state, draining flag.  Clients
+                   use it for endpoint selection and circuit-breaker
+                   half-open probing.
+    ``fetch``      peer replication pull (protocol v3):
+                   ``{"digests": [...]}`` asks whether this daemon already
+                   holds results for the given content digests; answered
+                   with ``fetch-result`` carrying checksummed payloads for
+                   the hits and the list of misses.  Purely best-effort —
+                   a daemon that cannot answer is simply a miss.
     ``shutdown``   ask the server to drain and exit (same as SIGTERM).
 
 Server → client
@@ -30,6 +41,13 @@ Server → client
                        can observe dispatch order).
     ``chunk-requeued`` the chunk's worker crashed and it was requeued.
     ``progress``       ``completed``/``total`` unique digests resolved.
+    ``outcome``        one resolved digest's outcome, streamed as it lands
+                       (protocol v3, only for submissions that set
+                       ``"stream": true``).  Carries the ``positions`` of
+                       the resolved requests in the submitted list and a
+                       ``source`` (``"executed"`` / ``"peer"``), so a
+                       failover client can bank partial results before a
+                       daemon dies and resubmit only what is missing.
     ``done``           positional ``outcomes`` (aligned with the submitted
                        request list) plus per-submission statistics.
     ``error``          submission-scoped or connection-scoped failure text.
@@ -45,6 +63,7 @@ bit-identical to direct engine runs.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -64,7 +83,12 @@ from ..sim.engine import SimRequest
 #: Protocol revision; bumped on any incompatible message change.
 #: v2 added admission control: the ``rejected`` server message and the
 #: optional ``deadline`` field on ``submit``.
-PROTOCOL_VERSION = 2
+#: v3 added the HA fabric: the ``health`` readiness probe, streamed
+#: ``outcome`` events (opt-in via ``"stream": true`` on ``submit``) and
+#: the peer-replication ``fetch`` / ``fetch-result`` pair.  All v3
+#: messages are additive — a v3 client talking to a v2 server degrades
+#: cleanly to v2 behaviour (no probes, no streaming, no peer pulls).
+PROTOCOL_VERSION = 3
 
 #: Upper bound on one encoded message line (and the server's readline
 #: limit).  Large sweep submissions with full nested configs stay well
@@ -90,6 +114,23 @@ def decode_message(line: bytes) -> dict[str, Any]:
             f"expected a JSON object per line, got {type(message).__name__}"
         )
     return message
+
+
+# ---------------------------------------------------------- result checksum
+
+
+def result_checksum(result_payload: dict[str, Any]) -> str:
+    """Content checksum of one result payload for peer replication.
+
+    Peers exchange results as ``SimulationResult.as_dict()`` payloads; the
+    checksum is a SHA-256 over the canonical (sorted-keys, compact) JSON
+    encoding, so a truncated or corrupted transfer — or a peer whose
+    result schema drifted — is detected and treated as a miss rather than
+    poisoning the puller's cache.
+    """
+
+    canonical = json.dumps(result_payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------- request codec

@@ -1,0 +1,24 @@
+"""Workload plugin for spawned-daemon chaos tests.
+
+A ``repro serve`` subprocess only knows the workloads its own interpreter
+registered — the instrumented test workloads from
+:mod:`tests.service_utils` exist only in the test process.  The HA chaos
+tests bridge that by spawning daemons with::
+
+    REPRO_WORKLOAD_PLUGINS=svc_plugin  PYTHONPATH=<tests dir>:...
+
+so :mod:`repro.workloads` imports this module inside the daemon, which
+registers the same hold-file-gated / crashing workloads there (coordinated
+through ``REPRO_SVC_TEST_DIR`` exactly like the in-process tier).
+
+Import-time side effects are the entire point of this module; it must stay
+importable with nothing but ``repro`` and ``service_utils`` on the path.
+"""
+
+from repro.workloads.registry import REGISTRY, register_workload
+
+from service_utils import SvcCrashAlwaysWorkload, SvcCrashOnceWorkload, SvcGateWorkload
+
+for _workload in (SvcGateWorkload, SvcCrashOnceWorkload, SvcCrashAlwaysWorkload):
+    if _workload.name not in REGISTRY:
+        register_workload(scales=("tiny",))(_workload)

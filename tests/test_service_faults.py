@@ -168,8 +168,7 @@ def test_disconnect_cancels_unique_work_but_not_shared(svc_dir):
 def test_sigterm_drains_in_flight_work_before_exit(tmp_path):
     """SIGTERM mid-run: the pending submission completes, then the daemon exits."""
 
-    process, address = spawn_local_daemon(workers=1, trace_store="off")
-    try:
+    with spawn_local_daemon(workers=1, trace_store="off") as (process, address):
         client = ServiceClient(address, timeout=300.0)
         requests = [
             SimRequest(workload="intsort", mode=m, scale="tiny", seed=42,
@@ -192,10 +191,6 @@ def test_sigterm_drains_in_flight_work_before_exit(tmp_path):
                 client.read_event()
         client.close()
         assert process.wait(timeout=60) == 0
-    finally:
-        if process.poll() is None:
-            process.kill()
-            process.wait(timeout=30)
 
 
 def test_draining_daemon_rejects_new_submissions(svc_dir):

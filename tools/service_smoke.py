@@ -8,8 +8,10 @@ through the client library twice, and asserts the service contract:
 1. the cold pass executes every unique point exactly once;
 2. the warm pass is served entirely from the daemon's memo — zero
    simulations, bit-identical results;
-3. the daemon drains cleanly on request and exits 0;
-4. against a quota-limited daemon (``--max-inflight``), a pipelined second
+3. the protocol-v3 health probe (and the ``repro status`` table built on
+   it) answers with a ready daemon;
+4. the daemon drains cleanly on request and exits 0;
+5. against a quota-limited daemon (``--max-inflight``), a pipelined second
    submission is rejected with ``retry_after``, and completes after
    backing off — the admission-control round-trip.
 
@@ -27,9 +29,29 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.config import SystemConfig  # noqa: E402
-from repro.service import ServiceClient, ServiceEngine, spawn_local_daemon  # noqa: E402
+from repro.service import (  # noqa: E402
+    PROTOCOL_VERSION,
+    ServiceClient,
+    ServiceEngine,
+    format_health_table,
+    probe_endpoint,
+    spawn_local_daemon,
+)
 from repro.sim.comparison import comparison_plan  # noqa: E402
 from repro.sim.engine import SimRequest  # noqa: E402
+
+
+def status_roundtrip(address: str) -> None:
+    """Health probe + status table against a live, idle daemon."""
+
+    report = probe_endpoint(address, timeout=30.0)
+    assert report.ok, f"health probe failed: {report.error}"
+    assert report.ready, f"idle daemon reported not ready: {report.status}"
+    assert report.protocol == PROTOCOL_VERSION, report.protocol
+    assert report.pool_generation == 0, "no worker should have crashed"
+    table = format_health_table([report])
+    assert address in table and "ok" in table, table
+    print(table)
 
 
 def quota_roundtrip() -> None:
@@ -37,11 +59,10 @@ def quota_roundtrip() -> None:
 
     import time
 
-    process, address = spawn_local_daemon(
+    with spawn_local_daemon(
         workers=1, extra_args=["--max-inflight", "1", "--retry-after", "0.05"]
-    )
-    print(f"quota daemon pid={process.pid} at {address}")
-    try:
+    ) as (process, address):
+        print(f"quota daemon pid={process.pid} at {address}")
         config = SystemConfig.scaled()
         first = [
             SimRequest(workload="intsort", mode="none", scale="tiny", seed=seed,
@@ -79,21 +100,17 @@ def quota_roundtrip() -> None:
             client.shutdown_server()
         code = process.wait(timeout=120)
         assert code == 0, f"quota daemon exited with {code}"
-    finally:
-        if process.poll() is None:
-            process.kill()
-            process.wait(timeout=30)
 
 
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as scratch:
         cache_dir = str(Path(scratch) / "results")
         store_dir = str(Path(scratch) / "traces")
-        process, address = spawn_local_daemon(
+        with spawn_local_daemon(
             workers=2, cache_dir=cache_dir, trace_store=store_dir
-        )
-        print(f"daemon pid={process.pid} at {address}")
-        try:
+        ) as (process, address):
+            print(f"daemon pid={process.pid} at {address}")
+            status_roundtrip(address)
             engine = ServiceEngine(address, timeout=600.0)
 
             cold = engine.run(comparison_plan(["intsort", "randacc"], scale="tiny"))
@@ -131,10 +148,6 @@ def main() -> int:
             code = process.wait(timeout=120)
             assert code == 0, f"daemon exited with {code}"
             print("daemon drained and exited cleanly")
-        finally:
-            if process.poll() is None:
-                process.kill()
-                process.wait(timeout=30)
     quota_roundtrip()
     print("service smoke: OK")
     return 0

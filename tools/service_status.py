@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Print the health table for a fleet of ``repro serve`` daemons.
+
+A thin wrapper over ``repro status`` for checkouts without the console
+script installed::
+
+    PYTHONPATH=src python tools/service_status.py 127.0.0.1:7421,127.0.0.1:7422
+
+One row per endpoint (reachability, protocol, uptime, queue depth, pool
+generation, peer hits); exits nonzero when any endpoint is unreachable, so
+deployment scripts can gate on fleet health.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import status_main  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "endpoints",
+        metavar="ADDR[,ADDR...]",
+        help="comma-separated service endpoints (host:port or unix:/path)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-endpoint probe timeout (default: %(default)s)",
+    )
+    args = parser.parse_args()
+    return status_main(args.endpoints, timeout=args.timeout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
